@@ -1,0 +1,14 @@
+"""Benchmark-suite helpers: uniform row printing for figure regeneration."""
+
+from __future__ import annotations
+
+
+def print_rows(title: str, rows) -> None:
+    """Print (label, value...) rows in the format EXPERIMENTS.md quotes."""
+    print(f"\n=== {title} ===")
+    for row in rows:
+        label, *values = row
+        rendered = "  ".join(
+            f"{v:.6g}" if isinstance(v, float) else str(v) for v in values
+        )
+        print(f"  {label:45s} {rendered}")

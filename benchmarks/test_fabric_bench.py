@@ -1,0 +1,24 @@
+"""Bench FABRIC: the abstract's aligned-fabric integration requirement.
+
+"strategies for achieving highly aligned carbon nanotube fabrics" —
+drive density vs placement pitch and on/off integrity vs semiconducting
+purity for sampled fabric transistors at VDD = 0.6 V.
+"""
+
+from conftest import print_rows
+
+from repro.experiments.fabric_density import run_fabric_density
+
+
+def test_fabric_density_regeneration(benchmark):
+    result = benchmark.pedantic(run_fabric_density, rounds=1, iterations=1)
+    print_rows("Fabric — pitch and purity requirements", result.rows())
+
+    # Density grows monotonically as pitch tightens.
+    densities = list(result.density_ma_per_um)
+    assert all(a > b for a, b in zip(densities, densities[1:]))
+    # At logic pitch the fabric out-drives the trigate at 0.6 V.
+    assert result.density_ma_per_um[1] > result.trigate_density_ma_per_um
+    # Purity below ~99 % collapses the on/off ratio via metallic shunts.
+    assert result.median_on_off[0] < 1e3
+    assert result.median_on_off[-1] > 1e4

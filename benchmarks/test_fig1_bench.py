@@ -1,0 +1,20 @@
+"""Bench FIG1: CNT-FET vs GNR-FET at equal band gap (paper Fig. 1).
+
+Regenerates both panels and asserts the paper's three claims: log-scale
+overlap, small linear-scale difference, and no saturation in real GNRs.
+"""
+
+from conftest import print_rows
+
+from repro.experiments.fig1 import run_fig1
+
+
+def test_fig1_regeneration(benchmark):
+    result = benchmark.pedantic(run_fig1, rounds=1, iterations=1)
+    print_rows("Fig. 1 — CNT vs GNR at E_g = 0.56 eV", result.rows())
+
+    assert result.log_scale_max_deviation_decades < 0.5
+    assert 1.2 < result.linear_scale_on_ratio < 3.0
+    assert result.cnt_saturation > 0.9
+    assert result.gnr_saturation > 0.9
+    assert result.real_gnr_saturation < 0.05

@@ -1,0 +1,26 @@
+"""Bench FIG2: inverter voltage transfer curves (paper Fig. 2).
+
+Runs the full SPICE study — output families, both VTCs on the
+from-scratch MNA simulator, and the 10 fF-loaded transient — and asserts
+the noise-margin collapse without current saturation.
+"""
+
+from conftest import print_rows
+
+from repro.experiments.fig2 import run_fig2
+
+
+def test_fig2_regeneration(benchmark):
+    result = benchmark.pedantic(run_fig2, rounds=1, iterations=1)
+    print_rows("Fig. 2 — inverters with/without saturation, VDD = 1 V", result.rows())
+
+    # Saturating pair: near-ideal inverter, NM ~ 0.4 V both sides.
+    assert result.metrics_sat.max_abs_gain > 5.0
+    assert abs(result.metrics_sat.nm_low - 0.4) < 0.08
+    assert abs(result.metrics_sat.nm_high - 0.4) < 0.08
+    # Non-saturating pair: gain never reaches unity, NM ~ 0.
+    assert result.metrics_lin.max_abs_gain < 1.0
+    assert result.metrics_lin.nm_low == 0.0
+    assert result.metrics_lin.nm_high == 0.0
+    # DC burn through the transition.
+    assert result.short_circuit_charge_ratio > 2.0

@@ -1,0 +1,14 @@
+"""Bench FIG4: contact-resistance degradation of a CNT-FET (paper Fig. 4)."""
+
+from conftest import print_rows
+
+from repro.experiments.fig4 import run_fig4
+
+
+def test_fig4_regeneration(benchmark):
+    result = benchmark.pedantic(run_fig4, rounds=1, iterations=1)
+    print_rows("Fig. 4 — ideal vs 2 x 50 kOhm contacts", result.rows())
+
+    assert result.current_suppression > 3.0
+    assert result.ideal_saturation > 0.9
+    assert result.contacted_saturation < 0.3

@@ -1,0 +1,18 @@
+"""Bench FIG6: CNT tunnel FET — the gated PIN diode (paper Fig. 6)."""
+
+from conftest import print_rows
+
+from repro.experiments.fig6 import run_fig6
+
+
+def test_fig6_regeneration(benchmark):
+    result = benchmark.pedantic(run_fig6, rounds=1, iterations=1)
+    print_rows("Fig. 6 — CNT TFET, reverse bias -0.5 V", result.rows())
+
+    # Paper: SS = 83 mV/dec average, individual intervals ~32.
+    assert 30.0 < result.ss_mv_per_decade < 110.0
+    # Paper: on-current density "in the range of 1 mA/um".
+    assert 0.3 < result.on_current_density_a_per_m * 1e-3 < 30.0
+    # Sharp reverse turn-on; forward branch gate-independent.
+    assert result.reverse_on_off_ratio > 1e3
+    assert result.forward_gate_modulation < 1.3

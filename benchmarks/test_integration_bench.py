@@ -1,0 +1,33 @@
+"""Bench SEC5: wafer-scale integration statistics (paper Section V).
+
+Growth purity, sorting cost, placement fill, the 10,000-device array,
+and the Shulaker one-bit computer's yield with and without metallic-CNT
+removal — including the program-level functional-yield Monte Carlo.
+"""
+
+from conftest import print_rows
+
+from repro.experiments.integration_stats import run_integration_stats
+
+
+def test_integration_stats_regeneration(benchmark):
+    result = benchmark.pedantic(
+        run_integration_stats,
+        kwargs={"n_array_devices": 10000, "n_functional_trials": 60},
+        rounds=1,
+        iterations=1,
+    )
+    print_rows("Section V — integration statistics", result.rows())
+
+    # As-grown material is ~2/3 semiconducting.
+    assert abs(result.semiconducting_fraction - 2.0 / 3.0) < 0.05
+    # Sorting reaches 4 nines at a real material cost.
+    assert result.passes_to_4nines >= 1
+    assert result.sorting_yield_4nines < 1.0
+    # Park-class placement fills > 90 % of sites.
+    assert result.trench_fill_fraction > 0.9
+    # 10k-device array is mostly functional with sorted material.
+    assert result.array_pass_fraction > 0.8
+    # Metallic removal strictly improves the 178-FET computer yield.
+    assert result.computer_yield_with_removal > result.computer_yield_no_removal
+    assert result.computer_yield_with_removal > 0.9

@@ -1,0 +1,22 @@
+"""Bench RF: Section II's radio-frequency argument against GNR-FETs.
+
+"short channel GNR show no current saturation, which ... leads to very
+low voltage gain in the FET and this only enables very low values of
+the maximum frequency of oscillation (fmax)."
+"""
+
+from conftest import print_rows
+
+from repro.experiments.rf_comparison import run_rf_comparison
+
+
+def test_rf_comparison_regeneration(benchmark):
+    result = benchmark.pedantic(run_rf_comparison, rounds=1, iterations=1)
+    print_rows("Section II — RF comparison at matched bias & C_gg", result.rows())
+
+    # Saturating device: healthy intrinsic gain; linear device: < 1-ish.
+    assert result.saturating.intrinsic_gain > 5.0
+    assert result.non_saturating.intrinsic_gain < 2.0
+    # f_T (gm / C) is comparable; f_max is what collapses.
+    assert result.fmax_ratio > result.saturating.ft_hz / result.non_saturating.ft_hz
+    assert result.fmax_ratio > 2.0

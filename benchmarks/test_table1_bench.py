@@ -1,0 +1,22 @@
+"""Bench TAB1: the paper's in-text numeric claims (Sections II-III)."""
+
+from conftest import print_rows
+
+from repro.experiments.table1 import run_table1
+
+
+def test_table1_regeneration(benchmark):
+    result = benchmark.pedantic(run_table1, rounds=1, iterations=1)
+    rows = [
+        (claim, paper, measured) for claim, paper, measured in result.rows()
+    ]
+    print_rows("Table 1 — in-text claims (paper vs measured)", rows)
+
+    assert abs(result.trigate_current_a - 66e-6) / 66e-6 < 0.1
+    assert abs(result.current_ratio - 1.0 / 3.0) < 0.12
+    assert result.cross_section_ratio > 300.0
+    assert abs(result.series_resistance_ohm - 11e3) / 11e3 < 0.15
+    assert result.gnr_on_off_ratio > 1e5
+    assert abs(result.gnr_density_ma_per_um - 2.0) < 0.2
+    assert result.gnr_saturation_index < 0.05
+    assert result.ss_cnt_9nm_mv < result.ss_si_9nm_mv < result.ss_inas_9nm_mv

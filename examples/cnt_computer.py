@@ -1,0 +1,89 @@
+"""From wafer to working computer: the Section V story, end to end.
+
+Walks the paper's integration pipeline:
+
+1. grow a chirality population (~2/3 semiconducting),
+2. sort it to logic-grade purity (gel chromatography passes),
+3. place tubes into device sites (Park-style trench deposition),
+4. fabricate a 10,000-device CNFET array and measure its statistics,
+5. build the 178-transistor SUBNEG one-bit computer and estimate yield,
+6. actually *run* the counting and sorting programs — the workloads the
+   Shulaker CNT computer demonstrated — on a gate-level datapath with
+   material-derived fault injection.
+
+Run:  python examples/cnt_computer.py
+"""
+
+from repro.integration.growth import GrowthDistribution
+from repro.integration.placement import TrenchDeposition
+from repro.integration.sorting import GEL_CHROMATOGRAPHY, passes_to_reach_purity
+from repro.integration.variability import CNFETArrayModel
+from repro.integration.yields import GateYieldModel, shulaker_computer_yield
+from repro.logic.faults import functional_yield
+from repro.logic.subneg import SubnegMachine, counting_program, sort_with_machine
+
+
+def main() -> None:
+    # 1. Growth.
+    growth = GrowthDistribution(mean_diameter_nm=1.5, sigma_diameter_nm=0.25)
+    print(f"as-grown semiconducting fraction: {growth.semiconducting_fraction():.3f}")
+
+    # 2. Sorting.
+    sorted_material = passes_to_reach_purity(GEL_CHROMATOGRAPHY, target_purity=0.9999)
+    print(
+        f"gel chromatography: {sorted_material.n_passes} passes -> "
+        f"purity {sorted_material.purity:.6f} "
+        f"({sorted_material.nines():.1f} nines), "
+        f"material yield {sorted_material.cumulative_yield:.1%}"
+    )
+
+    # 3. Placement.
+    trench = TrenchDeposition(mean_tubes_per_site=2.5)
+    print(f"trench deposition fill fraction: {trench.fill_fraction():.1%}")
+
+    # 4. The 10,000-device array (Park et al. scale).
+    array = CNFETArrayModel(
+        semiconducting_purity=sorted_material.purity,
+        mean_tubes_per_device=trench.mean_tubes_per_site,
+    ).sample_array(10000, seed=2013)
+    print(
+        f"10,000-device array: {array.pass_fraction:.1%} pass spec, "
+        f"{array.shorted_fraction:.2%} shorted, {array.open_fraction:.2%} open"
+    )
+
+    # 5. Computer yield with and without metallic-CNT removal.
+    without = shulaker_computer_yield(sorted_material.purity, removal_efficiency=0.0)
+    with_vmr = shulaker_computer_yield(sorted_material.purity, removal_efficiency=0.999)
+    print(
+        f"178-FET computer yield: {without.circuit_yield:.1%} without removal, "
+        f"{with_vmr.circuit_yield:.1%} with VMR"
+    )
+
+    # 6. Run the programs on a (possibly faulty) gate-level machine.
+    memory, counter = counting_program(10)
+    machine = SubnegMachine(memory=memory, word_bits=8, use_gate_level=True)
+    steps = machine.run()
+    print(
+        f"\nSUBNEG counting program: counted 10 -> {machine.memory[counter]} "
+        f"in {steps} instructions (gate-level ALU, "
+        f"{machine._alu.gate_count} gates / {machine._alu.transistor_count()} transistors)"
+    )
+
+    sorter = SubnegMachine(memory=[0] * 8, word_bits=8, use_gate_level=True)
+    print(f"SUBNEG sorting program:  {sort_with_machine([7, 2, 9, 4, 1], sorter)}")
+
+    gate_model = GateYieldModel(
+        semiconducting_purity=sorted_material.purity,
+        tubes_per_gate=10.0,
+        removal_efficiency=0.999,
+    )
+    mc = functional_yield(gate_model, n_trials=100, seed=501)
+    print(
+        f"functional yield (counting AND sorting pass, 100 fabricated "
+        f"machines): {mc.functional_yield:.1%} "
+        f"(per-gate failure probability {mc.gate_failure_probability:.2e})"
+    )
+
+
+if __name__ == "__main__":
+    main()

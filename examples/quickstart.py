@@ -1,0 +1,53 @@
+"""Quickstart: build a CNT-FET, sweep it, and size up the competition.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.analysis.iv import saturation_index, subthreshold_swing_mv_per_decade
+from repro.devices import CNTFET, SeriesResistanceFET, trigate_intel_22nm
+from repro.physics.cnt import Chirality, chirality_for_gap
+
+
+def main() -> None:
+    # 1. Pick a tube.  The paper's benchmark device targets a 0.56 eV gap,
+    #    which lands on a ~1.5 nm-diameter semiconducting chirality.
+    tube = chirality_for_gap(0.56)
+    print(f"chirality: {tube}")
+    print(f"band gap:  {tube.bandgap_ev():.3f} eV")
+    print(f"subbands:  {[round(e, 3) for e in tube.subband_edges_ev(3)]} eV")
+
+    # 2. Wrap it in a gate-all-around ballistic FET (Fig. 3 geometry).
+    fet = CNTFET(tube, channel_length_nm=20.0, t_ox_nm=3.0, eps_ox=16.0)
+    print(f"\ndevice: {fet}")
+    print(f"I_on(0.6 V, 0.6 V)  = {fet.current(0.6, 0.6) * 1e6:.1f} uA")
+    print(f"I_off(0.0 V, 0.6 V) = {fet.current(0.0, 0.6) * 1e9:.2f} nA")
+    print(f"SS = {fet.subthreshold_swing_mv_per_decade():.1f} mV/dec")
+
+    # 3. Output curve: the saturation that real GNRs lack (Fig. 1).
+    vds = np.linspace(0.0, 0.5, 26)
+    output = np.array([fet.current(0.6, float(v)) for v in vds])
+    print(f"saturation index = {saturation_index(vds, output):.3f}  (1 = ideal)")
+
+    # 4. What bad contacts do (Fig. 4): add 50 kOhm per side.
+    contacted = SeriesResistanceFET(fet, 50e3, 50e3)
+    degraded = np.array([contacted.current(0.6, float(v)) for v in vds])
+    print(
+        f"with 2 x 50 kOhm contacts: I_on {degraded[-1] * 1e6:.1f} uA, "
+        f"saturation index {saturation_index(vds, degraded):.3f}"
+    )
+
+    # 5. Size up Intel's trigate (Section III.E).
+    trigate = trigate_intel_22nm()
+    ratio = fet.current(0.6, 0.6) / trigate.current(1.0, 1.0)
+    print(
+        f"\ntrigate: {trigate.current(1.0, 1.0) * 1e6:.0f} uA at 1 V; "
+        f"CNT delivers {ratio:.0%} of that at 0.6 V from a "
+        f"{trigate.cross_section_nm2 / (3.1416 * (tube.diameter_nm / 2) ** 2):.0f}x "
+        "smaller cross-section"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+"""Can it hold a bit?  Butterfly SNM across device types and supplies.
+
+The paper's Fig. 2 shows the noise margin of a single inverter; this
+example pushes the argument to the storage element.  Two cross-coupled
+inverters are bistable only if the butterfly plot encloses two lobes —
+and the static noise margin (the largest inscribed square) is what an
+SRAM cell lives on.  Devices without current saturation never get there.
+
+Run:  python examples/sram_robustness.py
+"""
+
+import numpy as np
+
+from repro.analysis.snm import butterfly_snm
+from repro.circuit.cells import inverter_vtc
+from repro.devices.cntfet import CNTFET
+from repro.devices.empirical import TabulatedFET
+from repro.experiments.fig2 import non_saturating_fet, saturating_fet
+
+
+def report(name: str, device, vdd: float) -> None:
+    v_in, v_out, _ = inverter_vtc(device, vdd=vdd, n_points=161)
+    result = butterfly_snm(v_in, v_out)
+    verdict = "holds a bit" if result.is_bistable else "CANNOT store"
+    print(
+        f"  {name:28s} VDD={vdd:.1f} V  SNM = {result.snm:.3f} V "
+        f"({result.snm / vdd:5.1%} of VDD)  -> {verdict}"
+    )
+
+
+def main() -> None:
+    print("latch robustness (butterfly static noise margin):\n")
+
+    sat = saturating_fet()
+    lin = non_saturating_fet()
+    print("empirical devices of Fig. 2, VDD = 1 V:")
+    report("saturating FET", sat, 1.0)
+    report("non-saturating 'real GNR'", lin, 1.0)
+
+    print("\nphysical ballistic CNT-FET, supply scaling:")
+    cnt = TabulatedFET.from_model(
+        CNTFET.reference_device(),
+        np.linspace(-0.6, 1.3, 77),
+        np.linspace(0.0, 1.3, 53),
+    )
+    for vdd in (1.0, 0.7, 0.5, 0.4, 0.3):
+        report("CNT-FET inverter pair", cnt, vdd)
+
+    print(
+        "\nconclusion: the CNT latch keeps ~35-45 % of VDD as noise margin "
+        "down to 0.3 V,\nwhile the non-saturating device pair is never "
+        "bistable — the paper's Fig. 2\nargument, carried through to memory."
+    )
+
+
+if __name__ == "__main__":
+    main()

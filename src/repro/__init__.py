@@ -1,0 +1,39 @@
+"""repro — carbon-electronics device & circuit toolkit.
+
+A from-scratch reproduction of Kreupl, "Advancing CMOS with Carbon
+Electronics" (DATE 2014): CNT/GNR band structure, ballistic FET models,
+a SPICE-class circuit simulator, tunnel FETs, contact models, a
+del Alamo-style benchmark harness, wafer-scale integration statistics,
+and a SUBNEG one-bit computer — every figure of the paper regenerable
+from :mod:`repro.experiments`.
+
+Quick start::
+
+    from repro.devices import CNTFET
+    fet = CNTFET.reference_device()
+    print(fet.current(vgs=0.6, vds=0.5))   # ~2e-5 A
+
+    from repro.experiments import run_fig2
+    print(run_fig2().rows())
+"""
+
+from repro import analysis, benchmarking, circuit, devices, integration, logic, physics
+from repro.devices import CNTFET, CNTTunnelFET, GNRFET
+from repro.physics import ArmchairGNR, Chirality
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ArmchairGNR",
+    "CNTFET",
+    "CNTTunnelFET",
+    "Chirality",
+    "GNRFET",
+    "analysis",
+    "benchmarking",
+    "circuit",
+    "devices",
+    "integration",
+    "logic",
+    "physics",
+]

@@ -1,0 +1,94 @@
+"""RF figures of merit: the Section II argument against GNR-FETs.
+
+The paper (after Schwierz's review, its Ref. [8]): to make an RF FET
+fast the gate must be short, "however short channel GNR show no current
+saturation, which as a consequence leads to very low voltage gain in the
+FET and this only enables very low values of the maximum frequency of
+oscillation (f_max)".
+
+Quantified here with the standard quasi-static expressions:
+
+    A_v   = gm / gds                                  (intrinsic gain)
+    f_T   = gm / (2 pi C_gg)                          (unity current gain)
+    f_max = f_T / (2 sqrt(R_g (gds + 2 pi f_T C_gd))) (unity power gain)
+
+A device without saturation has gds of the same order as gm at its bias
+point, so A_v <~ 1 and f_max collapses far below f_T, no matter how
+short the gate.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.devices.base import FETModel, output_conductance, transconductance
+
+__all__ = ["RFMetrics", "rf_metrics", "intrinsic_gain"]
+
+
+def intrinsic_gain(device: FETModel, vgs: float, vds: float) -> float:
+    """Intrinsic voltage gain A_v = gm / gds at a bias point."""
+    gm = transconductance(device, vgs, vds)
+    gds = output_conductance(device, vgs, vds)
+    if gds <= 0.0:
+        return math.inf
+    return gm / gds
+
+
+@dataclass(frozen=True)
+class RFMetrics:
+    """Quasi-static RF figures of merit at one bias point."""
+
+    gm_s: float
+    gds_s: float
+    ft_hz: float
+    fmax_hz: float
+
+    @property
+    def intrinsic_gain(self) -> float:
+        if self.gds_s <= 0.0:
+            return math.inf
+        return self.gm_s / self.gds_s
+
+    @property
+    def fmax_over_ft(self) -> float:
+        return self.fmax_hz / self.ft_hz
+
+
+def rf_metrics(
+    device: FETModel,
+    vgs: float,
+    vds: float,
+    c_gate_total_f: float,
+    c_gate_drain_f: float | None = None,
+    gate_resistance_ohm: float = 100.0,
+) -> RFMetrics:
+    """Compute f_T and f_max for a device at a bias point.
+
+    Parameters
+    ----------
+    c_gate_total_f:
+        Total gate capacitance C_gg [F] (from the device's gate stack).
+    c_gate_drain_f:
+        Gate-drain (Miller) capacitance; defaults to C_gg / 3, a typical
+        self-aligned partition.
+    gate_resistance_ohm:
+        Series gate resistance entering the f_max expression.
+    """
+    if c_gate_total_f <= 0.0:
+        raise ValueError(f"gate capacitance must be positive, got {c_gate_total_f}")
+    if gate_resistance_ohm <= 0.0:
+        raise ValueError(f"gate resistance must be positive, got {gate_resistance_ohm}")
+    c_gd = c_gate_total_f / 3.0 if c_gate_drain_f is None else c_gate_drain_f
+    if c_gd <= 0.0 or c_gd > c_gate_total_f:
+        raise ValueError("gate-drain capacitance must be in (0, C_gg]")
+
+    gm = transconductance(device, vgs, vds)
+    gds = max(output_conductance(device, vgs, vds), 0.0)
+    if gm <= 0.0:
+        raise ValueError("device has no transconductance at this bias")
+    ft = gm / (2.0 * math.pi * c_gate_total_f)
+    denominator = gate_resistance_ohm * (gds + 2.0 * math.pi * ft * c_gd)
+    fmax = ft / (2.0 * math.sqrt(denominator)) if denominator > 0.0 else math.inf
+    return RFMetrics(gm_s=gm, gds_s=gds, ft_hz=ft, fmax_hz=fmax)

@@ -1,0 +1,124 @@
+"""Timing and energy metrics for logic transients.
+
+Extracts propagation delays and switching energy from
+:class:`repro.circuit.TransientResult` waveforms, and provides the
+first-order CV/I delay estimator used to compare device technologies
+before running full transients.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.circuit.transient import TransientResult
+from repro.devices.base import FETModel
+
+__all__ = [
+    "DelayMetrics",
+    "propagation_delays",
+    "supply_energy_j",
+    "cv_over_i_delay_s",
+    "intrinsic_energy_delay",
+]
+
+
+@dataclass(frozen=True)
+class DelayMetrics:
+    """50 %-crossing propagation delays of one logic transition pair."""
+
+    tp_hl_s: float
+    tp_lh_s: float
+
+    @property
+    def average_s(self) -> float:
+        return 0.5 * (self.tp_hl_s + self.tp_lh_s)
+
+
+def _crossings(time_s: np.ndarray, signal: np.ndarray, level: float, rising: bool):
+    above = signal > level
+    if rising:
+        mask = above[1:] & ~above[:-1]
+    else:
+        mask = ~above[1:] & above[:-1]
+    indices = np.nonzero(mask)[0]
+    times = []
+    for i in indices:
+        v0, v1 = signal[i], signal[i + 1]
+        if v1 == v0:
+            times.append(float(time_s[i]))
+            continue
+        t = (level - v0) / (v1 - v0)
+        times.append(float(time_s[i] + t * (time_s[i + 1] - time_s[i])))
+    return times
+
+
+def propagation_delays(
+    result: TransientResult,
+    input_node: str,
+    output_node: str,
+    vdd: float,
+) -> DelayMetrics:
+    """tpHL / tpLH between the 50 % points of input and output waveforms."""
+    t = result.time_s
+    v_in = result.voltage(input_node)
+    v_out = result.voltage(output_node)
+    mid = vdd / 2.0
+    in_rise = _crossings(t, v_in, mid, rising=True)
+    in_fall = _crossings(t, v_in, mid, rising=False)
+    out_fall = _crossings(t, v_out, mid, rising=False)
+    out_rise = _crossings(t, v_out, mid, rising=True)
+    tp_hl = _first_delay(in_rise, out_fall)
+    tp_lh = _first_delay(in_fall, out_rise)
+    if tp_hl is None or tp_lh is None:
+        raise ValueError("waveforms do not contain a full output transition pair")
+    return DelayMetrics(tp_hl_s=tp_hl, tp_lh_s=tp_lh)
+
+
+def _first_delay(input_times, output_times) -> float | None:
+    for t_in in input_times:
+        later = [t for t in output_times if t > t_in]
+        if later:
+            return later[0] - t_in
+    return None
+
+
+def supply_energy_j(
+    result: TransientResult,
+    supply_source: str,
+    vdd: float,
+    t_start_s: float = 0.0,
+    t_stop_s: float | None = None,
+) -> float:
+    """Energy drawn from the supply over a window: E = VDD * int i dt [J].
+
+    The supply source current is negative when delivering power (branch
+    convention), hence the sign flip.
+    """
+    t = result.time_s
+    i = -result.source_current(supply_source)
+    t_stop_s = float(t[-1]) if t_stop_s is None else t_stop_s
+    mask = (t >= t_start_s) & (t <= t_stop_s)
+    if mask.sum() < 2:
+        raise ValueError("energy window contains fewer than 2 samples")
+    return float(vdd * np.trapezoid(i[mask], t[mask]))
+
+
+def cv_over_i_delay_s(
+    device: FETModel, load_f: float, vdd: float
+) -> float:
+    """First-order switching delay C V / I_on [s] of a device driving a load."""
+    if load_f <= 0.0 or vdd <= 0.0:
+        raise ValueError("load and vdd must be positive")
+    i_on = device.current(vdd, vdd)
+    if i_on <= 0.0:
+        raise ValueError("device delivers no on-current at (vdd, vdd)")
+    return load_f * vdd / i_on
+
+
+def intrinsic_energy_delay(
+    device: FETModel, load_f: float, vdd: float
+) -> tuple[float, float]:
+    """(switching energy C V^2, CV/I delay) of a device-load stage."""
+    return load_f * vdd * vdd, cv_over_i_delay_s(device, load_f, vdd)

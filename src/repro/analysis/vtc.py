@@ -1,0 +1,111 @@
+"""Voltage-transfer-curve metrics: noise margins, gain, switching threshold.
+
+The paper's Fig. 2 argument is quantified here: an inverter built from
+saturating FETs has unity-gain points close to the rails (noise margins
+~0.4 V at VDD = 1 V), while the non-saturating inverter's gain never
+reaches one, so its noise margin — "the voltage point in the voltage
+transfer curve where the absolute gain reaches unity" — is essentially
+zero and the logic levels are undefined.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["VTCMetrics", "analyze_vtc"]
+
+
+@dataclass(frozen=True)
+class VTCMetrics:
+    """Figures of merit of an inverter voltage transfer curve.
+
+    ``nm_low``/``nm_high`` are the static noise margins; both are 0 when
+    the curve never reaches unity gain (no regenerative region).
+    ``switching_threshold_v`` is the V_in = V_out crossing.
+    """
+
+    v_out_high: float
+    v_out_low: float
+    v_il: float | None
+    v_ih: float | None
+    nm_low: float
+    nm_high: float
+    max_abs_gain: float
+    switching_threshold_v: float
+    has_regeneration: bool
+
+
+def analyze_vtc(v_in, v_out) -> VTCMetrics:
+    """Extract inverter metrics from a sampled VTC (v_in must be increasing)."""
+    v_in = np.asarray(v_in, dtype=float)
+    v_out = np.asarray(v_out, dtype=float)
+    if v_in.size != v_out.size or v_in.size < 5:
+        raise ValueError("need matching v_in/v_out arrays with >= 5 points")
+    if np.any(np.diff(v_in) <= 0.0):
+        raise ValueError("v_in must be strictly increasing")
+
+    gain = np.gradient(v_out, v_in)
+    max_abs_gain = float(np.max(np.abs(gain)))
+    v_out_high = float(v_out[0])
+    v_out_low = float(v_out[-1])
+
+    unity = np.abs(gain) >= 1.0
+    if not np.any(unity):
+        v_il = v_ih = None
+        nm_low = nm_high = 0.0
+        has_regeneration = False
+    else:
+        first = int(np.argmax(unity))
+        last = int(v_in.size - 1 - np.argmax(unity[::-1]))
+        v_il = _interp_unity_crossing(v_in, gain, first, rising_into_region=True)
+        v_ih = _interp_unity_crossing(v_in, gain, last, rising_into_region=False)
+        # Classic static noise margins.
+        nm_low = max(v_il - v_out_low, 0.0)
+        nm_high = max(v_out_high - v_ih, 0.0)
+        has_regeneration = True
+
+    switching = _switching_threshold(v_in, v_out)
+    return VTCMetrics(
+        v_out_high=v_out_high,
+        v_out_low=v_out_low,
+        v_il=v_il,
+        v_ih=v_ih,
+        nm_low=nm_low,
+        nm_high=nm_high,
+        max_abs_gain=max_abs_gain,
+        switching_threshold_v=switching,
+        has_regeneration=has_regeneration,
+    )
+
+
+def _interp_unity_crossing(
+    v_in: np.ndarray, gain: np.ndarray, index: int, rising_into_region: bool
+) -> float:
+    """Linearly interpolate where |gain| crosses 1 next to ``index``."""
+    abs_gain = np.abs(gain)
+    if rising_into_region:
+        lo = max(index - 1, 0)
+        hi = index
+    else:
+        lo = index
+        hi = min(index + 1, v_in.size - 1)
+    g_lo, g_hi = abs_gain[lo], abs_gain[hi]
+    if g_hi == g_lo:
+        return float(v_in[index])
+    t = (1.0 - g_lo) / (g_hi - g_lo)
+    t = float(np.clip(t, 0.0, 1.0))
+    return float(v_in[lo] + t * (v_in[hi] - v_in[lo]))
+
+
+def _switching_threshold(v_in: np.ndarray, v_out: np.ndarray) -> float:
+    """First crossing of v_out = v_in."""
+    diff = v_out - v_in
+    signs = np.sign(diff)
+    crossings = np.nonzero(np.diff(signs) != 0)[0]
+    if crossings.size == 0:
+        return float(v_in[int(np.argmin(np.abs(diff)))])
+    i = int(crossings[0])
+    t = diff[i] / (diff[i] - diff[i + 1])
+    return float(v_in[i] + t * (v_in[i + 1] - v_in[i]))

@@ -1,0 +1,27 @@
+"""Benchmark datasets and the Fig. 5 (del Alamo style) harness."""
+
+from repro.benchmarking.datasets import (
+    FIG5_REFERENCE,
+    IOFF_TARGET_A_PER_UM,
+    BenchmarkPoint,
+    TechnologySeries,
+    VDS_BENCHMARK_V,
+)
+from repro.benchmarking.fig5 import (
+    Fig5Result,
+    ModelPoint,
+    cnt_model_series,
+    run_fig5_benchmark,
+)
+
+__all__ = [
+    "BenchmarkPoint",
+    "FIG5_REFERENCE",
+    "Fig5Result",
+    "IOFF_TARGET_A_PER_UM",
+    "ModelPoint",
+    "TechnologySeries",
+    "VDS_BENCHMARK_V",
+    "cnt_model_series",
+    "run_fig5_benchmark",
+]

@@ -1,0 +1,103 @@
+"""Fig. 5 harness: benchmark model CNT-FETs against the reference field.
+
+Sweeps the ballistic CNT-FET model over gate length, extracts the
+del Alamo metric (I_on at V_DS = 0.5 V with I_off pinned to 100 nA/um by
+shifting the gate window along the transfer curve) and merges the model
+series with the published reference points.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.iv import ion_at_fixed_ioff
+from repro.benchmarking.datasets import (
+    FIG5_REFERENCE,
+    IOFF_TARGET_A_PER_UM,
+    BenchmarkPoint,
+    TechnologySeries,
+    VDS_BENCHMARK_V,
+)
+from repro.devices.cntfet import CNTFET
+from repro.devices.contacts import ContactModel, SeriesResistanceFET
+from repro.physics.cnt import chirality_for_gap
+
+__all__ = ["ModelPoint", "Fig5Result", "run_fig5_benchmark", "cnt_model_series"]
+
+
+@dataclass(frozen=True)
+class ModelPoint:
+    """One model-evaluated CNT-FET in benchmark coordinates."""
+
+    gate_length_nm: float
+    ion_ua_per_um: float
+    transmission: float
+
+
+@dataclass(frozen=True)
+class Fig5Result:
+    """Reference series plus the model-generated CNT curve."""
+
+    reference: dict[str, TechnologySeries]
+    model_cnt: tuple[ModelPoint, ...]
+
+    def rows(self) -> list[tuple[str, float, float]]:
+        """(technology, gate length, Ion) rows for printing."""
+        out: list[tuple[str, float, float]] = []
+        for series in self.reference.values():
+            for point in series.points:
+                out.append((series.name, point.gate_length_nm, point.ion_ua_per_um))
+        for point in self.model_cnt:
+            out.append(("CNT (model)", point.gate_length_nm, point.ion_ua_per_um))
+        return sorted(out, key=lambda r: (r[0], r[1]))
+
+
+def cnt_model_ion_density(
+    gate_length_nm: float,
+    gap_ev: float = 0.56,
+    supply_window_v: float = VDS_BENCHMARK_V,
+    contact_length_nm: float | None = 20.0,
+) -> ModelPoint:
+    """Benchmark one model CNT-FET at the given gate length.
+
+    The off-current target is scaled from per-um to per-device through
+    the diameter normalisation used for the measured CNT points.  The
+    device carries the transfer-length contact resistance of 20 nm metal
+    contacts (~15 kOhm total, the paper's Section III.B benchmark
+    geometry) so the model lands near the *measured* CNT points rather
+    than at the intrinsic ballistic ceiling; pass ``contact_length_nm=
+    None`` for the ideal-contact ceiling.
+    """
+    intrinsic = CNTFET(chirality_for_gap(gap_ev), channel_length_nm=gate_length_nm)
+    if contact_length_nm is None:
+        device = intrinsic
+    else:
+        per_contact = ContactModel().resistance_ohm(contact_length_nm)
+        device = SeriesResistanceFET(intrinsic, per_contact, per_contact)
+    diameter_um = intrinsic.chirality.diameter_nm * 1e-3
+    ioff_device_a = IOFF_TARGET_A_PER_UM * diameter_um
+
+    vgs = np.linspace(-0.1, 1.2, 105)
+    currents = np.array([device.current(float(v), VDS_BENCHMARK_V) for v in vgs])
+    ion_device_a = ion_at_fixed_ioff(vgs, currents, supply_window_v, ioff_device_a)
+    ion_ua_per_um = ion_device_a * 1e6 / diameter_um
+    return ModelPoint(
+        gate_length_nm=gate_length_nm,
+        ion_ua_per_um=ion_ua_per_um,
+        transmission=intrinsic.transmission,
+    )
+
+
+def cnt_model_series(gate_lengths_nm=(9.0, 15.0, 20.0, 30.0, 50.0, 100.0, 300.0)):
+    """Model CNT-FET benchmark points over a gate-length sweep."""
+    return tuple(cnt_model_ion_density(float(length)) for length in gate_lengths_nm)
+
+
+def run_fig5_benchmark(gate_lengths_nm=(9.0, 15.0, 20.0, 30.0, 50.0, 100.0, 300.0)) -> Fig5Result:
+    """Full Fig. 5 regeneration: reference field + model CNT curve."""
+    return Fig5Result(
+        reference=dict(FIG5_REFERENCE),
+        model_cnt=cnt_model_series(gate_lengths_nm),
+    )

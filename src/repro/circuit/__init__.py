@@ -1,0 +1,42 @@
+"""A small SPICE-class circuit simulator (MNA + Newton + transient).
+
+Built from scratch as the substrate for the paper's Fig. 2 inverter
+study: netlist construction (:class:`Circuit`), DC operating point and
+swept DC with continuation, trapezoidal/backward-Euler transient, and
+standard-cell builders for inverters and ring oscillators.
+"""
+
+from repro.circuit.ac import ACResult, ac_analysis
+from repro.circuit.cells import (
+    InverterCell,
+    build_inverter,
+    build_ring_oscillator,
+    inverter_vtc,
+    ring_oscillator_frequency,
+)
+from repro.circuit.dc import OperatingPointResult, SweepResult, dc_sweep, operating_point
+from repro.circuit.netlist import Circuit, CircuitError
+from repro.circuit.transient import TransientResult, transient
+from repro.circuit.waveforms import DC, PiecewiseLinear, Pulse, Sine
+
+__all__ = [
+    "ACResult",
+    "Circuit",
+    "CircuitError",
+    "DC",
+    "InverterCell",
+    "OperatingPointResult",
+    "PiecewiseLinear",
+    "Pulse",
+    "Sine",
+    "SweepResult",
+    "TransientResult",
+    "ac_analysis",
+    "build_inverter",
+    "build_ring_oscillator",
+    "dc_sweep",
+    "inverter_vtc",
+    "operating_point",
+    "ring_oscillator_frequency",
+    "transient",
+]

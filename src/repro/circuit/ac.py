@@ -1,0 +1,109 @@
+"""Small-signal AC analysis: complex MNA around a DC operating point.
+
+Linearises the circuit at its DC solution — the real Jacobian returned
+by the MNA evaluator *is* the small-signal conductance matrix, including
+the FETs' gm/gds stamps — adds the capacitors' jwC terms, and solves
+
+    (G + j w C) x = b
+
+per frequency with a unit excitation on the chosen source.  This powers
+the RF analysis of Section II: a FET without current saturation has
+gds ~ gm at its operating point, so its voltage gain (and with it f_max)
+collapses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.circuit.elements import Capacitor, VoltageSource
+from repro.circuit.netlist import Circuit, CircuitError
+from repro.circuit.solver import solve_dc
+
+__all__ = ["ACResult", "ac_analysis"]
+
+
+@dataclass(frozen=True)
+class ACResult:
+    """Frequency response of every node to the unit AC excitation."""
+
+    frequencies_hz: np.ndarray
+    voltages: dict[str, np.ndarray]
+
+    def transfer(self, node: str) -> np.ndarray:
+        """Complex transfer function H(f) at a node."""
+        try:
+            return self.voltages[node]
+        except KeyError:
+            raise CircuitError(f"unknown node {node!r}") from None
+
+    def magnitude_db(self, node: str) -> np.ndarray:
+        return 20.0 * np.log10(np.clip(np.abs(self.transfer(node)), 1e-300, None))
+
+    def phase_deg(self, node: str) -> np.ndarray:
+        return np.degrees(np.angle(self.transfer(node)))
+
+    def unity_gain_frequency_hz(self, node: str) -> float:
+        """First frequency where |H| falls to 1 (interpolated on log f)."""
+        magnitude = np.abs(self.transfer(node))
+        above = magnitude >= 1.0
+        if not above.any() or above.all():
+            raise CircuitError("response never crosses unity in the swept range")
+        idx = int(np.argmax(~above & np.roll(above, 1)))
+        if idx == 0:
+            raise CircuitError("response starts below unity")
+        f0, f1 = self.frequencies_hz[idx - 1], self.frequencies_hz[idx]
+        m0, m1 = magnitude[idx - 1], magnitude[idx]
+        t = (np.log10(m0)) / (np.log10(m0) - np.log10(m1))
+        return float(10 ** (np.log10(f0) + t * (np.log10(f1) - np.log10(f0))))
+
+
+def ac_analysis(
+    circuit: Circuit, source_name: str, frequencies_hz
+) -> ACResult:
+    """Swept small-signal analysis with a unit AC drive on ``source_name``."""
+    frequencies = np.asarray(frequencies_hz, dtype=float)
+    if frequencies.size == 0 or np.any(frequencies <= 0.0):
+        raise CircuitError("frequencies must be positive and non-empty")
+
+    system = circuit.build_system()
+    x_dc = solve_dc(system)
+    _, conductance = system.evaluate(x_dc)
+
+    size = system.size
+    capacitance = np.zeros((size, size))
+    for element in circuit.elements:
+        if not isinstance(element, Capacitor):
+            continue
+        ip = system.node_index(element.p)
+        in_ = system.node_index(element.n)
+        if ip is not None:
+            capacitance[ip, ip] += element.capacitance_f
+        if in_ is not None:
+            capacitance[in_, in_] += element.capacitance_f
+        if ip is not None and in_ is not None:
+            capacitance[ip, in_] -= element.capacitance_f
+            capacitance[in_, ip] -= element.capacitance_f
+
+    rhs = np.zeros(size)
+    source = _find_source(circuit, source_name)
+    rhs[source.branch_index] = 1.0
+
+    samples = np.empty((frequencies.size, size), dtype=complex)
+    for i, frequency in enumerate(frequencies):
+        matrix = conductance + 1j * 2.0 * np.pi * frequency * capacitance
+        samples[i] = np.linalg.solve(matrix, rhs)
+
+    voltages = {
+        node: samples[:, system.node_index(node)] for node in circuit.node_names
+    }
+    return ACResult(frequencies_hz=frequencies, voltages=voltages)
+
+
+def _find_source(circuit: Circuit, name: str) -> VoltageSource:
+    for element in circuit.elements:
+        if isinstance(element, VoltageSource) and element.name == name:
+            return element
+    raise CircuitError(f"no voltage source named {name!r}")

@@ -1,0 +1,132 @@
+"""Standard cells: CMOS-style inverter, NAND/NOR, and ring oscillators.
+
+Builders assemble complementary logic from any pair of n/p device models
+(the p-type is derived by mirroring the n-type unless given explicitly),
+which is exactly how the paper's Fig. 2 compares "symmetrical pFET and
+nFET" inverters built from saturating vs non-saturating devices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.circuit.dc import dc_sweep
+from repro.circuit.netlist import Circuit
+from repro.circuit.transient import TransientResult, transient
+from repro.circuit.waveforms import DC, Pulse
+from repro.devices.base import FETModel, PType
+
+__all__ = ["InverterCell", "build_inverter", "inverter_vtc", "build_ring_oscillator"]
+
+
+@dataclass(frozen=True)
+class InverterCell:
+    """Handle to an assembled inverter inside a circuit."""
+
+    circuit: Circuit
+    input_node: str
+    output_node: str
+    vdd_source: str
+
+
+def build_inverter(
+    nfet: FETModel,
+    pfet: FETModel | None = None,
+    vdd: float = 1.0,
+    load_capacitance_f: float = 10e-15,
+    input_waveform=None,
+    title: str = "inverter",
+) -> InverterCell:
+    """A loaded CMOS inverter: pFET vdd->out, nFET out->gnd, C_load at out.
+
+    The 10 fF default load is the one used in the paper's Fig. 2 study.
+    """
+    if pfet is None:
+        pfet = PType(nfet)
+    circuit = Circuit(title)
+    circuit.add_voltage_source("VDD", "vdd", "0", DC(vdd))
+    circuit.add_voltage_source("VIN", "in", "0", input_waveform or DC(0.0))
+    # p-type: source at vdd, drain at out (model sees vgs = Vg - Vvdd < 0).
+    circuit.add_fet("MP", "out", "in", "vdd", pfet)
+    circuit.add_fet("MN", "out", "in", "0", nfet)
+    if load_capacitance_f > 0.0:
+        circuit.add_capacitor("CL", "out", "0", load_capacitance_f)
+    return InverterCell(
+        circuit=circuit, input_node="in", output_node="out", vdd_source="VDD"
+    )
+
+
+def inverter_vtc(
+    nfet: FETModel,
+    pfet: FETModel | None = None,
+    vdd: float = 1.0,
+    n_points: int = 201,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Voltage transfer curve of the inverter: (v_in, v_out, i_supply).
+
+    Runs a continuation DC sweep of the input source; the supply current
+    trace exposes the short-circuit ("burn dc power from VDD to ground")
+    behaviour the paper highlights for non-saturating devices.
+    """
+    cell = build_inverter(nfet, pfet, vdd=vdd, load_capacitance_f=0.0)
+    values = np.linspace(0.0, vdd, n_points)
+    sweep = dc_sweep(cell.circuit, "VIN", values)
+    v_out = sweep.voltage(cell.output_node)
+    i_supply = -sweep.source_current(cell.vdd_source)  # current delivered by VDD
+    return values, v_out, i_supply
+
+
+def build_ring_oscillator(
+    nfet: FETModel,
+    pfet: FETModel | None = None,
+    n_stages: int = 5,
+    vdd: float = 1.0,
+    stage_capacitance_f: float = 1e-15,
+    kick_v: float = 0.02,
+) -> Circuit:
+    """An odd-stage ring oscillator with per-stage load capacitors.
+
+    A small asymmetric kick source at stage 0 breaks the metastable
+    all-at-VDD/2 DC solution so the oscillation starts deterministically.
+    """
+    if n_stages < 3 or n_stages % 2 == 0:
+        raise ValueError(f"need an odd stage count >= 3, got {n_stages}")
+    if pfet is None:
+        pfet = PType(nfet)
+    circuit = Circuit(f"ro{n_stages}")
+    circuit.add_voltage_source("VDD", "vdd", "0", DC(vdd))
+    for stage in range(n_stages):
+        node_in = f"n{stage}"
+        node_out = f"n{(stage + 1) % n_stages}"
+        circuit.add_fet(f"MP{stage}", node_out, node_in, "vdd", pfet)
+        circuit.add_fet(f"MN{stage}", node_out, node_in, "0", nfet)
+        circuit.add_capacitor(f"C{stage}", node_out, "0", stage_capacitance_f)
+    # Startup kick: brief pulse injected at n0 through a small source.
+    circuit.add_voltage_source(
+        "VKICK",
+        "kick",
+        "0",
+        Pulse(v1=0.0, v2=kick_v, delay_s=0.0, rise_s=1e-12, fall_s=1e-12, width_s=20e-12),
+    )
+    circuit.add_resistor("RKICK", "kick", "n0", 1e4)
+    return circuit
+
+
+def ring_oscillator_frequency(
+    result: TransientResult, node: str = "n0", vdd: float = 1.0
+) -> float:
+    """Oscillation frequency [Hz] from mid-supply crossings of one node."""
+    v = result.voltage(node)
+    t = result.time_s
+    mid = vdd / 2.0
+    above = v > mid
+    crossings = t[1:][above[1:] & ~above[:-1]]  # rising crossings
+    if crossings.size < 3:
+        raise ValueError("not enough oscillation periods captured")
+    periods = np.diff(crossings[-max(3, crossings.size // 2):])
+    return float(1.0 / np.mean(periods))
+
+
+__all__.append("ring_oscillator_frequency")

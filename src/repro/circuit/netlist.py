@@ -1,0 +1,161 @@
+"""Netlist container: named nodes, elements, and the unknown-vector layout.
+
+A :class:`Circuit` collects elements (builder-style ``add_*`` methods),
+assigns every non-ground node an index in the unknown vector and every
+voltage source a branch-current index after the nodes.  Analyses
+(:mod:`repro.circuit.dc`, :mod:`repro.circuit.transient`) consume the
+assembled system through :meth:`Circuit.build_system`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuit.elements import (
+    FET,
+    Capacitor,
+    CurrentSource,
+    Element,
+    GROUND_NAMES,
+    Resistor,
+    StampContext,
+    VoltageSource,
+)
+from repro.devices.base import FETModel
+
+__all__ = ["Circuit", "CircuitError"]
+
+
+class CircuitError(RuntimeError):
+    """Raised for malformed netlists or failed analyses."""
+
+
+class Circuit:
+    """A flat netlist with named nodes (ground: '0' / 'gnd')."""
+
+    def __init__(self, title: str = ""):
+        self.title = title
+        self.elements: list[Element] = []
+        self._names: set[str] = set()
+        self._node_order: list[str] = []
+        self._node_index: dict[str, int] = {}
+        self._n_branches = 0
+
+    # -- construction -----------------------------------------------------------
+    def add(self, element: Element) -> Element:
+        if element.name in self._names:
+            raise CircuitError(f"duplicate element name {element.name!r}")
+        self._names.add(element.name)
+        for node in element.nodes:
+            self._register_node(node)
+        if isinstance(element, VoltageSource):
+            element.branch_index = -1  # assigned in build_system
+            self._n_branches += 1
+        self.elements.append(element)
+        return element
+
+    def add_resistor(self, name: str, p: str, n: str, resistance_ohm: float) -> Resistor:
+        return self.add(Resistor(name, p, n, resistance_ohm))
+
+    def add_capacitor(self, name: str, p: str, n: str, capacitance_f: float) -> Capacitor:
+        return self.add(Capacitor(name, p, n, capacitance_f))
+
+    def add_voltage_source(self, name: str, p: str, n: str, waveform) -> VoltageSource:
+        return self.add(VoltageSource(name, p, n, waveform))
+
+    def add_current_source(self, name: str, p: str, n: str, waveform) -> CurrentSource:
+        return self.add(CurrentSource(name, p, n, waveform))
+
+    def add_fet(
+        self, name: str, drain: str, gate: str, source: str, device: FETModel
+    ) -> FET:
+        return self.add(FET(name, drain, gate, source, device))
+
+    def _register_node(self, node: str) -> None:
+        if node in GROUND_NAMES or node in self._node_index:
+            return
+        self._node_index[node] = len(self._node_order)
+        self._node_order.append(node)
+
+    # -- system layout ------------------------------------------------------------
+    @property
+    def node_names(self) -> list[str]:
+        return list(self._node_order)
+
+    @property
+    def size(self) -> int:
+        """Total number of unknowns (node voltages + source branch currents)."""
+        return len(self._node_order) + self._n_branches
+
+    def node_index(self, node: str) -> int | None:
+        """Unknown-vector index of a node, or None for ground."""
+        if node in GROUND_NAMES:
+            return None
+        try:
+            return self._node_index[node]
+        except KeyError:
+            raise CircuitError(f"unknown node {node!r}") from None
+
+    def build_system(self) -> "MNASystem":
+        if not self.elements:
+            raise CircuitError("empty circuit")
+        if not self._node_order:
+            raise CircuitError("circuit has no non-ground nodes")
+        branch_base = len(self._node_order)
+        offset = 0
+        for element in self.elements:
+            if isinstance(element, VoltageSource):
+                element.branch_index = branch_base + offset
+                offset += 1
+        return MNASystem(self)
+
+
+class MNASystem:
+    """Assembled residual/Jacobian evaluator for a circuit."""
+
+    def __init__(self, circuit: Circuit):
+        self.circuit = circuit
+        self.size = circuit.size
+        self.n_nodes = len(circuit.node_names)
+
+    def node_index(self, node: str) -> int | None:
+        return self.circuit.node_index(node)
+
+    def evaluate(
+        self,
+        x: np.ndarray,
+        time_s: float | None = None,
+        dt_s: float | None = None,
+        previous_x: np.ndarray | None = None,
+        integrator: str = "trapezoidal",
+        state: dict | None = None,
+        source_scale: float = 1.0,
+        gmin: float = 0.0,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Residual F(x) and Jacobian dF/dx at the iterate ``x``."""
+        residual = np.zeros(self.size)
+        jacobian = np.zeros((self.size, self.size))
+        ctx = StampContext(
+            system=self,
+            x=x,
+            residual=residual,
+            jacobian=jacobian,
+            time_s=time_s,
+            dt_s=dt_s,
+            previous_x=previous_x if previous_x is not None else x,
+            integrator=integrator,
+            state=state if state is not None else {},
+            source_scale=source_scale,
+            gmin=gmin,
+        )
+        for element in self.circuit.elements:
+            element.contribute(ctx)
+        if gmin > 0.0:
+            for i in range(self.n_nodes):
+                residual[i] += gmin * x[i]
+                jacobian[i, i] += gmin
+        return residual, jacobian
+
+    def voltage_of(self, x: np.ndarray, node: str) -> float:
+        idx = self.node_index(node)
+        return 0.0 if idx is None else float(x[idx])

@@ -1,0 +1,103 @@
+"""Damped Newton solver with gmin and source stepping for MNA systems.
+
+The solver attacks F(x) = 0 with Newton iterations, a backtracking line
+search on the residual norm, and two SPICE-style homotopies when plain
+Newton fails from a cold start:
+
+* **gmin stepping** — add a conductance from every node to ground and
+  relax it away geometrically (1e-3 S -> off);
+* **source stepping** — ramp all independent sources from 0 to 100 %.
+
+These make the DC operating point of strongly nonlinear FET circuits
+(e.g. an inverter chain biased mid-transition) reliably solvable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuit.netlist import CircuitError, MNASystem
+
+__all__ = ["newton_solve", "solve_dc"]
+
+_MAX_ITERATIONS = 120
+_RESIDUAL_TOL = 1e-10
+_STEP_TOL = 1e-10
+
+
+def newton_solve(
+    system: MNASystem,
+    x0: np.ndarray,
+    source_scale: float = 1.0,
+    gmin: float = 0.0,
+    **eval_kwargs,
+) -> tuple[np.ndarray, bool]:
+    """Damped Newton from ``x0``; returns (solution, converged)."""
+    x = np.array(x0, dtype=float)
+    residual, jacobian = system.evaluate(
+        x, source_scale=source_scale, gmin=gmin, **eval_kwargs
+    )
+    norm = float(np.max(np.abs(residual)))
+    for _ in range(_MAX_ITERATIONS):
+        if norm < _RESIDUAL_TOL:
+            return x, True
+        try:
+            step = np.linalg.solve(
+                jacobian + 1e-14 * np.eye(system.size), -residual
+            )
+        except np.linalg.LinAlgError:
+            return x, False
+        # Backtracking line search on the residual norm.
+        damping = 1.0
+        for _ in range(30):
+            x_trial = x + damping * step
+            residual_trial, jacobian_trial = system.evaluate(
+                x_trial, source_scale=source_scale, gmin=gmin, **eval_kwargs
+            )
+            norm_trial = float(np.max(np.abs(residual_trial)))
+            if norm_trial < norm or norm_trial < _RESIDUAL_TOL:
+                break
+            damping *= 0.5
+        else:
+            return x, False
+        step_size = float(np.max(np.abs(damping * step)))
+        x, residual, jacobian, norm = x_trial, residual_trial, jacobian_trial, norm_trial
+        if step_size < _STEP_TOL and norm < 1e-6:
+            return x, True
+    return x, norm < 1e-8
+
+
+def solve_dc(
+    system: MNASystem, x0: np.ndarray | None = None, **eval_kwargs
+) -> np.ndarray:
+    """DC solution with homotopy fallbacks; raises CircuitError on failure."""
+    x0 = np.zeros(system.size) if x0 is None else np.array(x0, dtype=float)
+
+    x, converged = newton_solve(system, x0, **eval_kwargs)
+    if converged:
+        return x
+
+    # gmin stepping
+    x_h = np.array(x0)
+    schedule = [10.0 ** (-k) for k in range(3, 13)]
+    ok = True
+    for gmin in schedule:
+        x_h, ok = newton_solve(system, x_h, gmin=gmin, **eval_kwargs)
+        if not ok:
+            break
+    if ok:
+        x_h, ok = newton_solve(system, x_h, gmin=0.0, **eval_kwargs)
+        if ok:
+            return x_h
+
+    # source stepping
+    x_h = np.zeros(system.size)
+    ok = True
+    for scale in np.linspace(0.1, 1.0, 10):
+        x_h, ok = newton_solve(system, x_h, source_scale=float(scale), **eval_kwargs)
+        if not ok:
+            break
+    if ok:
+        return x_h
+
+    raise CircuitError("DC solve failed: Newton, gmin and source stepping exhausted")

@@ -1,0 +1,129 @@
+"""Time-dependent source waveforms for the circuit simulator.
+
+Mirrors the SPICE source zoo at the scale this package needs: DC, pulse
+(with linear ramps), piecewise-linear and sine.  Every waveform is a
+callable ``value(t) -> float`` plus a ``dc`` attribute used by operating-
+point analysis.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from dataclasses import dataclass
+
+__all__ = ["DC", "Pulse", "PiecewiseLinear", "Sine"]
+
+
+@dataclass(frozen=True)
+class DC:
+    """Constant value."""
+
+    level: float = 0.0
+
+    @property
+    def dc(self) -> float:
+        return self.level
+
+    def value(self, time_s: float) -> float:
+        return self.level
+
+
+@dataclass(frozen=True)
+class Pulse:
+    """SPICE-style periodic trapezoidal pulse.
+
+    v1 -> v2 after ``delay``, with ``rise``/``fall`` ramps, ``width`` high
+    time and ``period`` repetition (0 period = single pulse).
+    """
+
+    v1: float
+    v2: float
+    delay_s: float = 0.0
+    rise_s: float = 1e-12
+    fall_s: float = 1e-12
+    width_s: float = 1e-9
+    period_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.rise_s <= 0.0 or self.fall_s <= 0.0 or self.width_s < 0.0:
+            raise ValueError("pulse edges must be positive and width >= 0")
+        single = self.rise_s + self.width_s + self.fall_s
+        if self.period_s and self.period_s < single:
+            raise ValueError(
+                f"period {self.period_s} shorter than one pulse ({single})"
+            )
+
+    @property
+    def dc(self) -> float:
+        return self.v1
+
+    def value(self, time_s: float) -> float:
+        t = time_s - self.delay_s
+        if t < 0.0:
+            return self.v1
+        if self.period_s > 0.0:
+            t = math.fmod(t, self.period_s)
+        if t < self.rise_s:
+            return self.v1 + (self.v2 - self.v1) * t / self.rise_s
+        t -= self.rise_s
+        if t < self.width_s:
+            return self.v2
+        t -= self.width_s
+        if t < self.fall_s:
+            return self.v2 + (self.v1 - self.v2) * t / self.fall_s
+        return self.v1
+
+
+@dataclass(frozen=True)
+class PiecewiseLinear:
+    """Piecewise-linear waveform through (time, value) points."""
+
+    points: tuple[tuple[float, float], ...]
+
+    def __post_init__(self) -> None:
+        if len(self.points) < 1:
+            raise ValueError("PWL needs at least one point")
+        times = [t for t, _ in self.points]
+        if times != sorted(times):
+            raise ValueError("PWL times must be non-decreasing")
+
+    @property
+    def dc(self) -> float:
+        return self.points[0][1]
+
+    def value(self, time_s: float) -> float:
+        times = [t for t, _ in self.points]
+        if time_s <= times[0]:
+            return self.points[0][1]
+        if time_s >= times[-1]:
+            return self.points[-1][1]
+        index = bisect.bisect_right(times, time_s) - 1
+        t0, v0 = self.points[index]
+        t1, v1 = self.points[index + 1]
+        if t1 == t0:
+            return v1
+        return v0 + (v1 - v0) * (time_s - t0) / (t1 - t0)
+
+
+@dataclass(frozen=True)
+class Sine:
+    """Offset sine: offset + amplitude * sin(2 pi f (t - delay))."""
+
+    offset: float
+    amplitude: float
+    frequency_hz: float
+    delay_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.frequency_hz <= 0.0:
+            raise ValueError(f"frequency must be positive, got {self.frequency_hz}")
+
+    @property
+    def dc(self) -> float:
+        return self.offset
+
+    def value(self, time_s: float) -> float:
+        return self.offset + self.amplitude * math.sin(
+            2.0 * math.pi * self.frequency_hz * (time_s - self.delay_s)
+        )

@@ -1,0 +1,177 @@
+"""Command-line interface: regenerate any paper artefact from the shell.
+
+Usage::
+
+    python -m repro fig1          # one artefact
+    python -m repro table1 rf     # several
+    python -m repro --list        # what's available
+    python -m repro all           # everything (minutes)
+
+Each experiment prints the same (label, value) rows its benchmark
+prints, so shell users and EXPERIMENTS.md readers see identical numbers.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Callable
+
+__all__ = ["main", "EXPERIMENTS"]
+
+
+def _run_fig1() -> list[tuple]:
+    from repro.experiments.fig1 import run_fig1
+
+    return run_fig1().rows()
+
+
+def _run_fig2() -> list[tuple]:
+    from repro.experiments.fig2 import run_fig2
+
+    return run_fig2().rows()
+
+
+def _run_fig4() -> list[tuple]:
+    from repro.experiments.fig4 import run_fig4
+
+    return run_fig4().rows()
+
+
+def _run_fig5() -> list[tuple]:
+    from repro.benchmarking.fig5 import run_fig5_benchmark
+
+    result = run_fig5_benchmark(gate_lengths_nm=(9.0, 30.0, 100.0))
+    return [(f"{name} @ {length:g} nm [uA/um]", ion) for name, length, ion in result.rows()]
+
+
+def _run_fig6() -> list[tuple]:
+    from repro.experiments.fig6 import run_fig6
+
+    return run_fig6().rows()
+
+
+def _run_table1() -> list[tuple]:
+    from repro.experiments.table1 import run_table1
+
+    return [
+        (claim, paper, measured) for claim, paper, measured in run_table1().rows()
+    ]
+
+
+def _run_integration() -> list[tuple]:
+    from repro.experiments.integration_stats import run_integration_stats
+
+    return run_integration_stats(n_array_devices=2000, n_functional_trials=30).rows()
+
+
+def _run_rf() -> list[tuple]:
+    from repro.experiments.rf_comparison import run_rf_comparison
+
+    return run_rf_comparison().rows()
+
+
+def _run_scaling() -> list[tuple]:
+    from repro.experiments.scaling import run_voltage_scaling
+
+    return run_voltage_scaling(supplies_v=(0.4, 0.5, 1.0)).rows()
+
+
+def _run_cascade() -> list[tuple]:
+    from repro.experiments.cascade import run_cascade
+
+    return run_cascade().rows()
+
+
+def _run_fabric() -> list[tuple]:
+    from repro.experiments.fabric_density import run_fabric_density
+
+    return run_fabric_density(
+        pitches_nm=(8.0, 32.0), purities=(0.9, 1.0), n_samples=3
+    ).rows()
+
+
+def _run_ablations() -> list[tuple]:
+    from repro.experiments.ablations import (
+        run_ballisticity_ablation,
+        run_contact_length_ablation,
+        run_dark_space_ablation,
+    )
+
+    rows: list[tuple] = []
+    dark = run_dark_space_ablation()
+    rows.append(("dark-space SS penalty, InAs vs CNT @ 9 nm", dark.penalty_at(9.0, "InAs")))
+    rows.append(("dark-space SS penalty, Si vs CNT @ 9 nm", dark.penalty_at(9.0, "Si")))
+    ballistic = run_ballisticity_ablation(channel_lengths_nm=(9.0, 100.0, 1000.0))
+    for length, transmission in zip(
+        ballistic.channel_lengths_nm, ballistic.transmission
+    ):
+        rows.append((f"ballisticity @ {length:g} nm", float(transmission)))
+    contact = run_contact_length_ablation(contact_lengths_nm=(5.0, 20.0, 640.0))
+    for length, resistance in zip(
+        contact.contact_lengths_nm, contact.series_resistance_ohm
+    ):
+        rows.append((f"series R @ L_c = {length:g} nm [kOhm]", float(resistance / 1e3)))
+    return rows
+
+
+EXPERIMENTS: dict[str, tuple[str, Callable[[], list[tuple]]]] = {
+    "fig1": ("CNT vs GNR FET at equal band gap", _run_fig1),
+    "fig2": ("inverter study: saturation vs not", _run_fig2),
+    "fig4": ("contact-resistance degradation", _run_fig4),
+    "fig5": ("technology benchmark (del Alamo style)", _run_fig5),
+    "fig6": ("CNT tunnel FET (gated PIN diode)", _run_fig6),
+    "table1": ("in-text numeric claims", _run_table1),
+    "integration": ("Section V integration statistics", _run_integration),
+    "rf": ("Section II RF comparison", _run_rf),
+    "scaling": ("voltage scaling: CNT fabric vs Si trigate", _run_scaling),
+    "fabric": ("aligned-fabric pitch/purity requirements", _run_fabric),
+    "cascade": ("cascaded logic: level restoration vs collapse", _run_cascade),
+    "ablations": ("design-choice ablations", _run_ablations),
+}
+
+
+def _print_rows(title: str, rows: list[tuple]) -> None:
+    print(f"=== {title} ===")
+    for row in rows:
+        label, *values = row
+        rendered = "  ".join(
+            f"{v:.6g}" if isinstance(v, float) else str(v) for v in values
+        )
+        print(f"  {label:45s} {rendered}")
+    print()
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate artefacts of Kreupl, 'Advancing CMOS with "
+        "Carbon Electronics' (DATE 2014).",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        metavar="EXPERIMENT",
+        help="experiment ids (or 'all'); see --list",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list available experiments and exit"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list or not args.experiments:
+        for name, (description, _) in EXPERIMENTS.items():
+            print(f"{name:12s} {description}")
+        return 0
+
+    requested = list(EXPERIMENTS) if "all" in args.experiments else args.experiments
+    unknown = [name for name in requested if name not in EXPERIMENTS]
+    if unknown:
+        parser.error(f"unknown experiment(s): {', '.join(unknown)}")
+    for name in requested:
+        description, runner = EXPERIMENTS[name]
+        _print_rows(f"{name} — {description}", runner())
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

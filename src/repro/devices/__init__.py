@@ -1,0 +1,41 @@
+"""Device models: ballistic carbon FETs, empirical FETs, TFETs, contacts."""
+
+from repro.devices.base import (
+    FETModel,
+    PType,
+    output_conductance,
+    output_curve,
+    transconductance,
+    transfer_curve,
+)
+from repro.devices.cntfet import CNTFET
+from repro.devices.contacts import ContactModel, SeriesResistanceFET
+from repro.devices.empirical import AlphaPowerFET, NonSaturatingFET, TabulatedFET
+from repro.devices.fabric import CNTFabricFET, sample_fabric
+from repro.devices.gnrfet import GNRFET
+from repro.devices.schottky import SchottkyBarrierCNTFET
+from repro.devices.reference import TrigateFET, inas_hemt_reference, trigate_intel_22nm
+from repro.devices.tfet import CNTTunnelFET
+
+__all__ = [
+    "AlphaPowerFET",
+    "CNTFET",
+    "CNTFabricFET",
+    "CNTTunnelFET",
+    "ContactModel",
+    "FETModel",
+    "GNRFET",
+    "NonSaturatingFET",
+    "PType",
+    "SchottkyBarrierCNTFET",
+    "SeriesResistanceFET",
+    "TabulatedFET",
+    "TrigateFET",
+    "inas_hemt_reference",
+    "sample_fabric",
+    "output_conductance",
+    "output_curve",
+    "transconductance",
+    "transfer_curve",
+    "trigate_intel_22nm",
+]

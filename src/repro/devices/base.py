@@ -1,0 +1,98 @@
+"""Device-model interface shared by physical and empirical FET models.
+
+Every FET in this package exposes one method:
+
+    current(vgs, vds) -> drain current [A]
+
+with n-type sign conventions (positive ``vds`` drives positive drain
+current; current is zero at ``vds = 0``).  The circuit simulator, the
+analysis helpers and the benchmark harness all program against this
+interface, so a ballistic CNT-FET, an empirical non-saturating GNR model
+and a tabulated reference device are interchangeable.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "FETModel",
+    "PType",
+    "transfer_curve",
+    "output_curve",
+    "transconductance",
+    "output_conductance",
+]
+
+
+class FETModel(abc.ABC):
+    """Abstract three-terminal FET (source-referenced)."""
+
+    @abc.abstractmethod
+    def current(self, vgs: float, vds: float) -> float:
+        """Drain current I_D [A] at the given source-referenced bias."""
+
+    @property
+    def polarity(self) -> str:
+        """'n' or 'p'; base models are n-type, wrap with :class:`PType` to flip."""
+        return "n"
+
+    def currents(self, vgs_values, vds_values) -> np.ndarray:
+        """Vectorised elementwise evaluation (arrays must broadcast)."""
+        vgs_values, vds_values = np.broadcast_arrays(
+            np.asarray(vgs_values, dtype=float), np.asarray(vds_values, dtype=float)
+        )
+        out = np.empty(vgs_values.shape)
+        for index in np.ndindex(vgs_values.shape):
+            out[index] = self.current(float(vgs_values[index]), float(vds_values[index]))
+        return out
+
+
+@dataclass(frozen=True)
+class PType(FETModel):
+    """p-type adapter: mirrors an n-type model through the origin.
+
+    I_Dp(V_GS, V_DS) = -I_Dn(-V_GS, -V_DS), the standard complementary-
+    device symmetry used for the paper's "symmetrical pFET and nFET"
+    inverter study (Fig. 2).
+    """
+
+    nfet: FETModel
+
+    @property
+    def polarity(self) -> str:
+        return "p"
+
+    def current(self, vgs: float, vds: float) -> float:
+        return -self.nfet.current(-vgs, -vds)
+
+
+def transfer_curve(device: FETModel, vgs_values, vds: float) -> np.ndarray:
+    """I_D(V_GS) at fixed V_DS."""
+    return np.array([device.current(float(v), vds) for v in np.asarray(vgs_values)])
+
+
+def output_curve(device: FETModel, vds_values, vgs: float) -> np.ndarray:
+    """I_D(V_DS) at fixed V_GS."""
+    return np.array([device.current(vgs, float(v)) for v in np.asarray(vds_values)])
+
+
+def transconductance(
+    device: FETModel, vgs: float, vds: float, delta_v: float = 1e-4
+) -> float:
+    """g_m = dI_D/dV_GS [S] via central differences."""
+    upper = device.current(vgs + delta_v, vds)
+    lower = device.current(vgs - delta_v, vds)
+    return (upper - lower) / (2.0 * delta_v)
+
+
+def output_conductance(
+    device: FETModel, vgs: float, vds: float, delta_v: float = 1e-4
+) -> float:
+    """g_ds = dI_D/dV_DS [S] via central differences."""
+    upper = device.current(vgs, vds + delta_v)
+    lower = device.current(vgs, vds - delta_v)
+    return (upper - lower) / (2.0 * delta_v)

@@ -1,0 +1,199 @@
+"""Empirical FET models for the paper's inverter study and references.
+
+The paper's Fig. 2 compares inverters built from two behavioural devices:
+
+* a **well-behaved FET** with current saturation — modelled here with a
+  smooth alpha-power-law (Sakurai-Newton) characteristic including
+  subthreshold turn-off and mild channel-length modulation ("a more
+  realistic model as it has not a perfect saturation behaviour"), and
+* a **FET without current saturation** — a gate-voltage-steered linear
+  resistor with the same on-current and a smooth subthreshold turn-off,
+  the paper's empirical description of measured GNR-FETs.
+
+Both are intentionally phenomenological: Fig. 2's argument is about I-V
+*shape*, not material physics.  A bilinear :class:`TabulatedFET` rounds
+out the module for devices defined by measured/published grids.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.devices.base import FETModel
+from repro.physics.constants import thermal_voltage
+
+__all__ = ["AlphaPowerFET", "NonSaturatingFET", "TabulatedFET"]
+
+
+def _softplus(x: float) -> float:
+    """Numerically safe softplus ln(1 + e^x)."""
+    if x > 35.0:
+        return x
+    if x < -35.0:
+        return math.exp(x)
+    return math.log1p(math.exp(x))
+
+
+@dataclass(frozen=True)
+class AlphaPowerFET(FETModel):
+    """Smooth alpha-power-law FET with saturation (Sakurai-Newton form).
+
+    I_D = k * Vov^alpha * tanh(vds / vdsat) * (1 + lambda vds),
+    Vov  = n vT * softplus((vgs - vt) / (n vT))     (subthreshold blend),
+    vdsat = sat_fraction * Vov.
+
+    Attributes
+    ----------
+    k_a_per_v_alpha:
+        Current factor [A / V^alpha]; sets the on-current scale.
+    vt:
+        Threshold voltage [V].
+    alpha:
+        Velocity-saturation index; 2 = long-channel square law, ~1.3 for
+        short-channel devices.
+    sat_fraction:
+        V_dsat / V_ov; smaller saturates earlier (better output curves).
+    channel_modulation:
+        lambda [1/V], the finite output conductance in saturation.
+    subthreshold_ideality:
+        n >= 1 in SS = n * kT/q * ln 10.
+    """
+
+    k_a_per_v_alpha: float = 4.0e-4
+    vt: float = 0.25
+    alpha: float = 1.4
+    sat_fraction: float = 0.45
+    channel_modulation: float = 0.15
+    subthreshold_ideality: float = 1.1
+    temperature_k: float = 300.0
+
+    def __post_init__(self) -> None:
+        if self.k_a_per_v_alpha <= 0.0:
+            raise ValueError(f"k must be positive, got {self.k_a_per_v_alpha}")
+        if self.alpha < 1.0:
+            raise ValueError(f"alpha must be >= 1, got {self.alpha}")
+        if not 0.0 < self.sat_fraction <= 1.0:
+            raise ValueError(f"sat_fraction must be in (0,1], got {self.sat_fraction}")
+        if self.channel_modulation < 0.0:
+            raise ValueError("channel modulation must be >= 0")
+        if self.subthreshold_ideality < 1.0:
+            raise ValueError("subthreshold ideality must be >= 1")
+
+    def overdrive(self, vgs: float) -> float:
+        """Smoothed overdrive voltage Vov [V] (exponential below threshold).
+
+        The softplus width is n vT alpha, so that I ~ Vov^alpha decays as
+        exp((vgs - vt)/(n vT)) below threshold — i.e. the subthreshold
+        swing is exactly n * 60 mV/dec regardless of alpha.
+        """
+        width = (
+            self.subthreshold_ideality
+            * thermal_voltage(self.temperature_k)
+            * self.alpha
+        )
+        return width * _softplus((vgs - self.vt) / width)
+
+    def saturation_voltage(self, vgs: float) -> float:
+        """V_dsat [V] at the given gate bias."""
+        return max(self.sat_fraction * self.overdrive(vgs), 1e-6)
+
+    def current(self, vgs: float, vds: float) -> float:
+        if vds < 0.0:
+            # Source/drain exchange symmetry of a symmetric device.
+            return -self.current(vgs - vds, -vds)
+        overdrive = self.overdrive(vgs)
+        vdsat = self.saturation_voltage(vgs)
+        saturation = math.tanh(vds / vdsat)
+        return (
+            self.k_a_per_v_alpha
+            * overdrive**self.alpha
+            * saturation
+            * (1.0 + self.channel_modulation * vds)
+        )
+
+
+@dataclass(frozen=True)
+class NonSaturatingFET(FETModel):
+    """Gate-steered linear resistor: the paper's "real GNR" behaviour.
+
+    I_D = G(vgs) * vds with no saturation at any drain bias;
+    G(vgs) = g_on * softplus((vgs - vt)/w) / softplus((v_on - vt)/w)
+    turns the device off smoothly below threshold while keeping the
+    above-threshold conductance roughly linear in gate drive, as measured
+    on sub-10 nm GNR devices (paper Refs. [4, 5]).
+    """
+
+    g_on_s: float = 2.0e-4
+    vt: float = 0.2
+    v_on: float = 1.0
+    smoothing_v: float = 0.12
+
+    def __post_init__(self) -> None:
+        if self.g_on_s <= 0.0:
+            raise ValueError(f"on-conductance must be positive, got {self.g_on_s}")
+        if self.smoothing_v <= 0.0:
+            raise ValueError(f"smoothing must be positive, got {self.smoothing_v}")
+        if self.v_on <= self.vt:
+            raise ValueError("v_on must exceed vt")
+
+    def conductance(self, vgs: float) -> float:
+        """Channel conductance G(V_GS) [S]."""
+        shape = _softplus((vgs - self.vt) / self.smoothing_v)
+        norm = _softplus((self.v_on - self.vt) / self.smoothing_v)
+        return self.g_on_s * shape / norm
+
+    def current(self, vgs: float, vds: float) -> float:
+        return self.conductance(vgs) * vds
+
+
+class TabulatedFET(FETModel):
+    """FET defined by bilinear interpolation of an I_D(V_GS, V_DS) grid.
+
+    Out-of-range biases clamp to the table edge (flat extrapolation),
+    which keeps Newton iterations bounded.  Negative ``vds`` uses the
+    symmetric-device transformation, so only the vds >= 0 quadrant needs
+    tabulating.
+    """
+
+    def __init__(self, vgs_grid, vds_grid, current_grid):
+        self._vgs = np.asarray(vgs_grid, dtype=float)
+        self._vds = np.asarray(vds_grid, dtype=float)
+        self._id = np.asarray(current_grid, dtype=float)
+        if self._vgs.ndim != 1 or self._vds.ndim != 1:
+            raise ValueError("bias grids must be 1D")
+        if self._id.shape != (self._vgs.size, self._vds.size):
+            raise ValueError(
+                f"current grid shape {self._id.shape} does not match "
+                f"({self._vgs.size}, {self._vds.size})"
+            )
+        if np.any(np.diff(self._vgs) <= 0.0) or np.any(np.diff(self._vds) <= 0.0):
+            raise ValueError("bias grids must be strictly increasing")
+
+    @classmethod
+    def from_model(cls, model: FETModel, vgs_grid, vds_grid) -> "TabulatedFET":
+        """Tabulate any model on the given grid (useful to freeze slow solvers)."""
+        vgs_grid = np.asarray(vgs_grid, dtype=float)
+        vds_grid = np.asarray(vds_grid, dtype=float)
+        grid = np.array(
+            [[model.current(float(vg), float(vd)) for vd in vds_grid] for vg in vgs_grid]
+        )
+        return cls(vgs_grid, vds_grid, grid)
+
+    def current(self, vgs: float, vds: float) -> float:
+        if vds < 0.0:
+            return -self.current(vgs - vds, -vds)
+        vgs_c = float(np.clip(vgs, self._vgs[0], self._vgs[-1]))
+        vds_c = float(np.clip(vds, self._vds[0], self._vds[-1]))
+        i = int(np.clip(np.searchsorted(self._vgs, vgs_c) - 1, 0, self._vgs.size - 2))
+        j = int(np.clip(np.searchsorted(self._vds, vds_c) - 1, 0, self._vds.size - 2))
+        tx = (vgs_c - self._vgs[i]) / (self._vgs[i + 1] - self._vgs[i])
+        ty = (vds_c - self._vds[j]) / (self._vds[j + 1] - self._vds[j])
+        return float(
+            self._id[i, j] * (1 - tx) * (1 - ty)
+            + self._id[i + 1, j] * tx * (1 - ty)
+            + self._id[i, j + 1] * (1 - tx) * ty
+            + self._id[i + 1, j + 1] * tx * ty
+        )

@@ -1,0 +1,129 @@
+"""Aligned-fabric requirements: pitch and purity, quantified.
+
+The abstract's closing warning — "Without such a high yield wafer-scale
+integration, SWCNT circuits will be an illusional dream" — is a
+statement about fabrics: logic needs many aligned tubes per device at a
+tight pitch AND at extreme semiconducting purity.  This experiment
+sweeps both knobs on sampled fabric transistors:
+
+* **pitch sweep** (purity fixed high): drive current density per um of
+  layout width vs placement pitch — the density race against the
+  trigate's ~0.75 mA/um;
+* **purity sweep** (pitch fixed): median on/off ratio of sampled fabric
+  devices vs semiconducting purity — the on/off collapse caused by
+  metallic shunts, and the purity level where logic becomes viable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.devices.fabric import sample_fabric
+from repro.devices.reference import trigate_intel_22nm
+from repro.integration.growth import GrowthDistribution
+
+__all__ = ["FabricDensityResult", "run_fabric_density"]
+
+VDD = 0.6
+FABRIC_WIDTH_UM = 0.2
+
+# Sorted, diameter-refined material (solution processing narrows the
+# diameter distribution as well as the electronic type); the tight window
+# also keeps the per-chirality device cache small.
+SORTED_GROWTH = GrowthDistribution(
+    mean_diameter_nm=1.5, sigma_diameter_nm=0.1, diameter_window_nm=(1.3, 1.7)
+)
+
+
+@dataclass(frozen=True)
+class FabricDensityResult:
+    """Pitch and purity sweeps of sampled fabric transistors."""
+
+    pitches_nm: tuple[float, ...]
+    density_ma_per_um: tuple[float, ...]
+    purities: tuple[float, ...]
+    median_on_off: tuple[float, ...]
+    trigate_density_ma_per_um: float
+
+    def pitch_to_beat_trigate_nm(self) -> float:
+        """Coarsest swept pitch whose fabric out-drives the trigate."""
+        winning = [
+            pitch
+            for pitch, density in zip(self.pitches_nm, self.density_ma_per_um)
+            if density > self.trigate_density_ma_per_um
+        ]
+        if not winning:
+            return float("nan")
+        return max(winning)
+
+    def purity_for_on_off(self, target: float = 1e4) -> float:
+        """Lowest swept purity with median on/off above the target."""
+        viable = [
+            purity
+            for purity, ratio in zip(self.purities, self.median_on_off)
+            if ratio >= target
+        ]
+        if not viable:
+            return float("nan")
+        return min(viable)
+
+    def rows(self) -> list[tuple[str, float]]:
+        out: list[tuple[str, float]] = [
+            ("trigate density [mA/um]", self.trigate_density_ma_per_um)
+        ]
+        for pitch, density in zip(self.pitches_nm, self.density_ma_per_um):
+            out.append((f"fabric density @ pitch {pitch:g} nm [mA/um]", density))
+        for purity, ratio in zip(self.purities, self.median_on_off):
+            out.append((f"median on/off @ purity {purity:g}", ratio))
+        out.append(("pitch to beat trigate [nm]", self.pitch_to_beat_trigate_nm()))
+        out.append(("purity for on/off 1e4", self.purity_for_on_off()))
+        return out
+
+
+def run_fabric_density(
+    pitches_nm=(4.0, 8.0, 16.0, 32.0, 64.0),
+    purities=(0.9, 0.99, 0.999, 0.9999, 1.0),
+    n_samples: int = 7,
+    seed: int = 77,
+) -> FabricDensityResult:
+    """Sweep placement pitch and semiconducting purity of fabrics."""
+    rng = np.random.default_rng(seed)
+
+    densities = []
+    for pitch in pitches_nm:
+        fabric = sample_fabric(
+            width_um=FABRIC_WIDTH_UM,
+            pitch_nm=float(pitch),
+            semiconducting_purity=1.0,
+            growth=SORTED_GROWTH,
+            rng=rng,
+        )
+        densities.append(
+            fabric.current_density_a_per_m(VDD, VDD) * 1e-3  # A/m -> mA/um
+        )
+
+    median_on_off = []
+    for purity in purities:
+        ratios = []
+        for _ in range(n_samples):
+            fabric = sample_fabric(
+                width_um=FABRIC_WIDTH_UM,
+                pitch_nm=8.0,
+                semiconducting_purity=float(purity),
+                growth=SORTED_GROWTH,
+                rng=rng,
+            )
+            ratios.append(min(fabric.on_off_ratio(VDD), 1e12))
+        median_on_off.append(float(np.median(ratios)))
+
+    trigate = trigate_intel_22nm()
+    trigate_density = trigate.current_density_a_per_m(VDD, VDD) * 1e-3
+    return FabricDensityResult(
+        pitches_nm=tuple(float(p) for p in pitches_nm),
+        density_ma_per_um=tuple(densities),
+        purities=tuple(float(p) for p in purities),
+        median_on_off=tuple(median_on_off),
+        trigate_density_ma_per_um=trigate_density,
+    )

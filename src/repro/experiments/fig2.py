@@ -1,0 +1,164 @@
+"""Fig. 2 — the inverter study: why current saturation matters for logic.
+
+Reproduces the paper's SPICE experiment with the from-scratch circuit
+simulator:
+
+* (a)/(b) output families of the two symmetric device types — a
+  well-behaved FET with (imperfect) saturation vs a FET with no
+  saturation that still turns off below threshold;
+* (c)/(d) inverter voltage transfer curves at VDD = 1 V: the saturating
+  inverter approaches the ideal steep transition (|gain| >> 1, noise
+  margins ~0.4 V on both sides); the non-saturating inverter's gain never
+  exceeds unity, its noise margin is ~zero, and both devices conduct
+  through the whole transition ("burn dc power from VDD to ground");
+* a 10 fF-loaded transient confirming the dynamic behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.timing import propagation_delays, supply_energy_j
+from repro.analysis.vtc import VTCMetrics, analyze_vtc
+from repro.circuit.cells import build_inverter, inverter_vtc
+from repro.circuit.transient import transient
+from repro.circuit.waveforms import Pulse
+from repro.devices.empirical import AlphaPowerFET, NonSaturatingFET
+
+__all__ = [
+    "Fig2Result",
+    "run_fig2",
+    "saturating_fet",
+    "non_saturating_fet",
+    "VDD_V",
+    "LOAD_CAPACITANCE_F",
+]
+
+VDD_V = 1.0
+LOAD_CAPACITANCE_F = 10e-15
+OUTPUT_GATE_VOLTAGES = (0.2, 0.4, 0.6, 0.8, 1.0)
+
+
+def saturating_fet() -> AlphaPowerFET:
+    """The "well-behaved FET" of Fig. 2(a): saturating but not perfectly so."""
+    return AlphaPowerFET(
+        k_a_per_v_alpha=4.0e-4,
+        vt=0.25,
+        alpha=1.4,
+        sat_fraction=0.45,
+        channel_modulation=0.15,
+        subthreshold_ideality=1.1,
+    )
+
+
+def non_saturating_fet() -> NonSaturatingFET:
+    """The Fig. 2(b) FET: linear I-V, turns off below threshold.
+
+    The on-conductance is chosen so both device types deliver the same
+    current at the (VDD, VDD) corner, making the inverters comparable.
+    """
+    reference_on = saturating_fet().current(VDD_V, VDD_V)
+    return NonSaturatingFET(
+        g_on_s=reference_on / VDD_V, vt=0.2, v_on=VDD_V, smoothing_v=0.3
+    )
+
+
+@dataclass(frozen=True)
+class Fig2Result:
+    """Series and metrics of all four panels plus the dynamic check."""
+
+    vds: np.ndarray
+    output_family_sat: dict[float, np.ndarray]
+    output_family_lin: dict[float, np.ndarray]
+    v_in: np.ndarray
+    vtc_sat: np.ndarray
+    vtc_lin: np.ndarray
+    supply_current_sat: np.ndarray
+    supply_current_lin: np.ndarray
+    metrics_sat: VTCMetrics
+    metrics_lin: VTCMetrics
+    delay_sat_s: float
+    energy_sat_j: float
+
+    @property
+    def short_circuit_charge_ratio(self) -> float:
+        """Supply charge of the non-saturating transition over the saturating one.
+
+        Integral of supply current across the input sweep — a proxy for
+        the paper's "pFET and nFET are conductive almost during the whole
+        transition and would burn dc power".
+        """
+        q_sat = float(np.trapezoid(self.supply_current_sat, self.v_in))
+        q_lin = float(np.trapezoid(self.supply_current_lin, self.v_in))
+        return q_lin / q_sat
+
+    def rows(self) -> list[tuple[str, float]]:
+        return [
+            ("saturating: max |gain|", self.metrics_sat.max_abs_gain),
+            ("saturating: NM_low [V]", self.metrics_sat.nm_low),
+            ("saturating: NM_high [V]", self.metrics_sat.nm_high),
+            ("non-saturating: max |gain|", self.metrics_lin.max_abs_gain),
+            ("non-saturating: NM_low [V]", self.metrics_lin.nm_low),
+            ("non-saturating: NM_high [V]", self.metrics_lin.nm_high),
+            ("short-circuit charge ratio lin/sat", self.short_circuit_charge_ratio),
+            ("saturating inverter delay @10 fF [ps]", self.delay_sat_s * 1e12),
+            ("saturating switching energy [fJ]", self.energy_sat_j * 1e15),
+        ]
+
+
+def run_fig2(n_points: int = 161) -> Fig2Result:
+    """Regenerate the full Fig. 2 study."""
+    sat = saturating_fet()
+    lin = non_saturating_fet()
+
+    vds = np.linspace(0.0, 1.0, 51)
+    family_sat = {
+        vg: np.array([sat.current(vg, float(v)) for v in vds])
+        for vg in OUTPUT_GATE_VOLTAGES
+    }
+    family_lin = {
+        vg: np.array([lin.current(vg, float(v)) for v in vds])
+        for vg in OUTPUT_GATE_VOLTAGES
+    }
+
+    v_in, vtc_sat, i_sat = inverter_vtc(sat, vdd=VDD_V, n_points=n_points)
+    _, vtc_lin, i_lin = inverter_vtc(lin, vdd=VDD_V, n_points=n_points)
+
+    metrics_sat = analyze_vtc(v_in, vtc_sat)
+    metrics_lin = analyze_vtc(v_in, vtc_lin)
+
+    delay_s, energy_j = _dynamic_check(sat)
+
+    return Fig2Result(
+        vds=vds,
+        output_family_sat=family_sat,
+        output_family_lin=family_lin,
+        v_in=v_in,
+        vtc_sat=vtc_sat,
+        vtc_lin=vtc_lin,
+        supply_current_sat=i_sat,
+        supply_current_lin=i_lin,
+        metrics_sat=metrics_sat,
+        metrics_lin=metrics_lin,
+        delay_sat_s=delay_s,
+        energy_sat_j=energy_j,
+    )
+
+
+def _dynamic_check(device) -> tuple[float, float]:
+    """10 fF-loaded transient of the saturating inverter: (delay, energy)."""
+    period = 4e-9
+    stimulus = Pulse(
+        v1=0.0, v2=VDD_V, delay_s=0.2e-9, rise_s=20e-12, fall_s=20e-12,
+        width_s=period / 2.0, period_s=period,
+    )
+    cell = build_inverter(
+        device, vdd=VDD_V, load_capacitance_f=LOAD_CAPACITANCE_F,
+        input_waveform=stimulus,
+    )
+    result = transient(cell.circuit, t_stop_s=period, dt_s=5e-12)
+    delays = propagation_delays(result, cell.input_node, cell.output_node, VDD_V)
+    energy = supply_energy_j(result, cell.vdd_source, VDD_V)
+    return delays.average_s, energy

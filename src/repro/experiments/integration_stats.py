@@ -1,0 +1,106 @@
+"""Section V — wafer-scale integration statistics, end to end.
+
+Regenerates the quantitative story behind the paper's integration
+discussion:
+
+* as-grown material is ~2/3 semiconducting (chirality statistics);
+* sorting trades yield for purity (passes to reach 4-6 nines);
+* placement fills sites with Poisson statistics (quartz-aligned growth
+  and Park-style trench deposition, the >10,000-FET experiment);
+* a 10,000-device CNFET array Monte Carlo gives the measurable pass
+  fraction;
+* the Shulaker one-bit computer's yield versus purity, with and without
+  metallic-CNT removal, plus the *functional* yield measured by actually
+  running the counting and sorting programs on fault-injected gate-level
+  hardware.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.integration.growth import GrowthDistribution
+from repro.integration.placement import AlignedGrowth, TrenchDeposition
+from repro.integration.sorting import GEL_CHROMATOGRAPHY, passes_to_reach_purity
+from repro.integration.variability import ArraySpec, CNFETArrayModel
+from repro.integration.yields import GateYieldModel, shulaker_computer_yield
+from repro.logic.faults import functional_yield
+
+__all__ = ["IntegrationResult", "run_integration_stats"]
+
+
+@dataclass(frozen=True)
+class IntegrationResult:
+    """Headline numbers of the Section V pipeline."""
+
+    semiconducting_fraction: float
+    passes_to_4nines: int
+    sorting_yield_4nines: float
+    trench_fill_fraction: float
+    aligned_usable_fraction: float
+    array_pass_fraction: float
+    array_short_fraction: float
+    computer_yield_no_removal: float
+    computer_yield_with_removal: float
+    functional_yield_mc: float
+
+    def rows(self) -> list[tuple[str, float]]:
+        return [
+            ("as-grown semiconducting fraction", self.semiconducting_fraction),
+            ("gel passes to 99.99 %", float(self.passes_to_4nines)),
+            ("material yield at 99.99 %", self.sorting_yield_4nines),
+            ("trench fill fraction (Park)", self.trench_fill_fraction),
+            ("aligned-growth usable sites", self.aligned_usable_fraction),
+            ("10k-array pass fraction", self.array_pass_fraction),
+            ("10k-array short fraction", self.array_short_fraction),
+            ("178-FET computer yield, no removal", self.computer_yield_no_removal),
+            ("178-FET computer yield, with VMR", self.computer_yield_with_removal),
+            ("functional yield (program MC)", self.functional_yield_mc),
+        ]
+
+
+def run_integration_stats(
+    n_array_devices: int = 10000,
+    n_functional_trials: int = 120,
+    seed: int = 20140312,
+) -> IntegrationResult:
+    """Run the full Section V statistical pipeline."""
+    growth = GrowthDistribution()
+    semi_fraction = growth.semiconducting_fraction()
+
+    sorting = passes_to_reach_purity(GEL_CHROMATOGRAPHY, target_purity=0.9999)
+
+    trench = TrenchDeposition(mean_tubes_per_site=2.5)
+    aligned = AlignedGrowth(density_per_um=5.0, angular_sigma_deg=1.0)
+
+    array = CNFETArrayModel(
+        semiconducting_purity=sorting.purity,
+        mean_tubes_per_device=trench.mean_tubes_per_site,
+    ).sample_array(n_array_devices, spec=ArraySpec(), seed=seed)
+
+    no_removal = shulaker_computer_yield(
+        semiconducting_purity=sorting.purity, removal_efficiency=0.0
+    )
+    with_removal = shulaker_computer_yield(
+        semiconducting_purity=sorting.purity, removal_efficiency=0.999
+    )
+
+    gate_model = GateYieldModel(
+        semiconducting_purity=sorting.purity,
+        tubes_per_gate=10.0,
+        removal_efficiency=0.999,
+    )
+    functional = functional_yield(gate_model, n_trials=n_functional_trials, seed=seed)
+
+    return IntegrationResult(
+        semiconducting_fraction=semi_fraction,
+        passes_to_4nines=sorting.n_passes,
+        sorting_yield_4nines=sorting.cumulative_yield,
+        trench_fill_fraction=trench.fill_fraction(),
+        aligned_usable_fraction=aligned.statistics(device_width_um=1.0).p_usable,
+        array_pass_fraction=array.pass_fraction,
+        array_short_fraction=array.shorted_fraction,
+        computer_yield_no_removal=no_removal.circuit_yield,
+        computer_yield_with_removal=with_removal.circuit_yield,
+        functional_yield_mc=functional.functional_yield,
+    )

@@ -1,0 +1,61 @@
+"""Section II's RF argument: no saturation, no f_max.
+
+Compares a saturating (CNT-like) FET against the non-saturating
+(measured-GNR-like) FET at the same bias and gate capacitance, and
+verifies the causal chain the paper lays out: missing saturation ->
+gds ~ gm -> intrinsic gain below unity -> f_max collapses relative to
+f_T, while f_T itself (set by gm / C_gg) barely differs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.rf import RFMetrics, rf_metrics
+from repro.experiments.fig2 import non_saturating_fet, saturating_fet
+
+__all__ = ["RFComparisonResult", "run_rf_comparison"]
+
+BIAS_VGS = 0.8
+BIAS_VDS = 0.8
+GATE_CAPACITANCE_F = 60e-18  # ~60 aF: a short-gate nano-FET
+
+
+@dataclass(frozen=True)
+class RFComparisonResult:
+    """RF metrics of both device types at the common bias point."""
+
+    saturating: RFMetrics
+    non_saturating: RFMetrics
+
+    @property
+    def gain_ratio(self) -> float:
+        return self.saturating.intrinsic_gain / self.non_saturating.intrinsic_gain
+
+    @property
+    def fmax_ratio(self) -> float:
+        return self.saturating.fmax_hz / self.non_saturating.fmax_hz
+
+    def rows(self) -> list[tuple[str, float]]:
+        return [
+            ("saturating: gm [uS]", self.saturating.gm_s * 1e6),
+            ("saturating: gds [uS]", self.saturating.gds_s * 1e6),
+            ("saturating: intrinsic gain", self.saturating.intrinsic_gain),
+            ("saturating: f_T [GHz]", self.saturating.ft_hz / 1e9),
+            ("saturating: f_max [GHz]", self.saturating.fmax_hz / 1e9),
+            ("non-saturating: intrinsic gain", self.non_saturating.intrinsic_gain),
+            ("non-saturating: f_T [GHz]", self.non_saturating.ft_hz / 1e9),
+            ("non-saturating: f_max [GHz]", self.non_saturating.fmax_hz / 1e9),
+            ("f_max ratio (sat / non-sat)", self.fmax_ratio),
+        ]
+
+
+def run_rf_comparison() -> RFComparisonResult:
+    """Evaluate both device types at the common RF bias point."""
+    saturating = rf_metrics(
+        saturating_fet(), BIAS_VGS, BIAS_VDS, GATE_CAPACITANCE_F
+    )
+    non_saturating = rf_metrics(
+        non_saturating_fet(), BIAS_VGS, BIAS_VDS, GATE_CAPACITANCE_F
+    )
+    return RFComparisonResult(saturating=saturating, non_saturating=non_saturating)

@@ -1,0 +1,59 @@
+"""Wafer-scale integration statistics (Section V of the paper).
+
+Growth chirality populations, separation (sorting) processes, placement
+models (quartz-aligned growth and trench deposition), Monte-Carlo CNFET
+array variability, and circuit yield models including the Shulaker
+one-bit-computer scenario.
+"""
+
+from repro.integration.growth import GrowthDistribution
+from repro.integration.placement import (
+    AlignedGrowth,
+    PlacementStatistics,
+    TrenchDeposition,
+)
+from repro.integration.sorting import (
+    DENSITY_GRADIENT,
+    DNA_SORTING,
+    GEL_CHROMATOGRAPHY,
+    SeparationProcess,
+    SortingResult,
+    passes_to_reach_purity,
+)
+from repro.integration.variability import (
+    ArrayResult,
+    ArraySpec,
+    CNFETArrayModel,
+    DeviceSample,
+)
+from repro.integration.yields import (
+    CircuitYield,
+    GateYieldModel,
+    SHULAKER_TRANSISTOR_COUNT,
+    circuit_yield,
+    purity_required_for_yield,
+    shulaker_computer_yield,
+)
+
+__all__ = [
+    "AlignedGrowth",
+    "ArrayResult",
+    "ArraySpec",
+    "CNFETArrayModel",
+    "CircuitYield",
+    "DENSITY_GRADIENT",
+    "DNA_SORTING",
+    "DeviceSample",
+    "GEL_CHROMATOGRAPHY",
+    "GateYieldModel",
+    "GrowthDistribution",
+    "PlacementStatistics",
+    "SHULAKER_TRANSISTOR_COUNT",
+    "SeparationProcess",
+    "SortingResult",
+    "TrenchDeposition",
+    "circuit_yield",
+    "passes_to_reach_purity",
+    "purity_required_for_yield",
+    "shulaker_computer_yield",
+]

@@ -1,0 +1,176 @@
+"""Monte-Carlo CNFET array variability: the 10,000-device statistics.
+
+Park et al. (the paper's Ref. [22]) measured >10,000 CNT-FETs fabricated
+blindly on self-assembled sites — "for the first time a statistical
+analysis ... was available".  This module regenerates that kind of
+dataset synthetically: each device receives a random number of tubes;
+each tube is semiconducting with the material purity, has a
+diameter-dependent on-current, and metallic tubes short the channel with
+a gate-independent ohmic conductance.  Aggregating over tubes yields the
+device-level I_on, I_off and on/off-ratio distributions, and the pass
+fraction against a spec.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.physics.constants import CNT_QUANTUM_RESISTANCE_OHM
+
+__all__ = ["ArraySpec", "DeviceSample", "ArrayResult", "CNFETArrayModel"]
+
+
+@dataclass(frozen=True)
+class ArraySpec:
+    """Pass/fail specification for a device in the array."""
+
+    min_on_current_a: float = 1e-6
+    min_on_off_ratio: float = 1e3
+
+
+@dataclass(frozen=True)
+class DeviceSample:
+    """One synthesized device."""
+
+    n_tubes: int
+    n_metallic: int
+    i_on_a: float
+    i_off_a: float
+
+    @property
+    def on_off_ratio(self) -> float:
+        return self.i_on_a / self.i_off_a if self.i_off_a > 0.0 else np.inf
+
+    @property
+    def is_open(self) -> bool:
+        return self.n_tubes == 0
+
+    @property
+    def is_shorted(self) -> bool:
+        return self.n_metallic > 0
+
+
+@dataclass(frozen=True)
+class ArrayResult:
+    """Aggregate statistics of a synthesized array."""
+
+    devices: tuple[DeviceSample, ...]
+    spec: ArraySpec
+
+    @property
+    def n_devices(self) -> int:
+        return len(self.devices)
+
+    @property
+    def open_fraction(self) -> float:
+        return sum(d.is_open for d in self.devices) / self.n_devices
+
+    @property
+    def shorted_fraction(self) -> float:
+        return sum(d.is_shorted for d in self.devices) / self.n_devices
+
+    @property
+    def pass_fraction(self) -> float:
+        return sum(self._passes(d) for d in self.devices) / self.n_devices
+
+    def _passes(self, device: DeviceSample) -> bool:
+        return (
+            not device.is_open
+            and device.i_on_a >= self.spec.min_on_current_a
+            and device.on_off_ratio >= self.spec.min_on_off_ratio
+        )
+
+    def on_currents_a(self) -> np.ndarray:
+        return np.array([d.i_on_a for d in self.devices])
+
+    def on_off_ratios(self) -> np.ndarray:
+        return np.array([d.on_off_ratio for d in self.devices])
+
+
+class CNFETArrayModel:
+    """Synthesizes CNFET arrays tube-by-tube.
+
+    Parameters
+    ----------
+    semiconducting_purity:
+        Probability a placed tube is semiconducting (post-sorting).
+    mean_tubes_per_device:
+        Poisson mean of the per-device tube count (set by placement).
+    mean_on_current_per_tube_a / on_current_sigma_fraction:
+        Log-normal-ish on-current distribution per semiconducting tube,
+        driven by diameter/contact variability.
+    semiconducting_off_current_a:
+        Off-state leakage per semiconducting tube.
+    metallic_resistance_ohm:
+        Two-terminal resistance of a metallic tube (quantum limit x
+        scattering factor); conducts identically in on and off states.
+    """
+
+    def __init__(
+        self,
+        semiconducting_purity: float = 0.99,
+        mean_tubes_per_device: float = 3.0,
+        mean_on_current_per_tube_a: float = 10e-6,
+        on_current_sigma_fraction: float = 0.25,
+        semiconducting_off_current_a: float = 10e-12,
+        metallic_resistance_ohm: float = 3.0 * CNT_QUANTUM_RESISTANCE_OHM,
+        read_voltage_v: float = 0.5,
+    ):
+        if not 0.0 <= semiconducting_purity <= 1.0:
+            raise ValueError("purity must be in [0, 1]")
+        if mean_tubes_per_device <= 0.0:
+            raise ValueError("mean tubes per device must be positive")
+        if mean_on_current_per_tube_a <= 0.0 or semiconducting_off_current_a <= 0.0:
+            raise ValueError("current scales must be positive")
+        if on_current_sigma_fraction < 0.0:
+            raise ValueError("sigma fraction must be >= 0")
+        if metallic_resistance_ohm <= 0.0 or read_voltage_v <= 0.0:
+            raise ValueError("metallic resistance and read voltage must be positive")
+        self.semiconducting_purity = semiconducting_purity
+        self.mean_tubes_per_device = mean_tubes_per_device
+        self.mean_on_current_per_tube_a = mean_on_current_per_tube_a
+        self.on_current_sigma_fraction = on_current_sigma_fraction
+        self.semiconducting_off_current_a = semiconducting_off_current_a
+        self.metallic_resistance_ohm = metallic_resistance_ohm
+        self.read_voltage_v = read_voltage_v
+
+    def sample_device(self, rng: np.random.Generator) -> DeviceSample:
+        n_tubes = int(rng.poisson(self.mean_tubes_per_device))
+        if n_tubes == 0:
+            return DeviceSample(n_tubes=0, n_metallic=0, i_on_a=0.0, i_off_a=0.0)
+        n_metallic = int(rng.binomial(n_tubes, 1.0 - self.semiconducting_purity))
+        n_semi = n_tubes - n_metallic
+        if n_semi > 0:
+            sigma = max(self.on_current_sigma_fraction, 1e-9)
+            log_sigma = np.sqrt(np.log1p(sigma**2))
+            draws = rng.lognormal(
+                mean=np.log(self.mean_on_current_per_tube_a) - log_sigma**2 / 2.0,
+                sigma=log_sigma,
+                size=n_semi,
+            )
+            i_semi_on = float(draws.sum())
+            i_semi_off = n_semi * self.semiconducting_off_current_a
+        else:
+            i_semi_on = i_semi_off = 0.0
+        i_metal = n_metallic * self.read_voltage_v / self.metallic_resistance_ohm
+        return DeviceSample(
+            n_tubes=n_tubes,
+            n_metallic=n_metallic,
+            i_on_a=i_semi_on + i_metal,
+            i_off_a=i_semi_off + i_metal,
+        )
+
+    def sample_array(
+        self,
+        n_devices: int = 10000,
+        spec: ArraySpec | None = None,
+        seed: int | None = None,
+    ) -> ArrayResult:
+        """Synthesize an array the size of the Park et al. dataset."""
+        if n_devices < 1:
+            raise ValueError("need at least one device")
+        rng = np.random.default_rng(seed)
+        devices = tuple(self.sample_device(rng) for _ in range(n_devices))
+        return ArrayResult(devices=devices, spec=spec or ArraySpec())

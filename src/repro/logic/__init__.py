@@ -1,0 +1,48 @@
+"""Gate-level logic and the SUBNEG one-bit computer (Shulaker scenario)."""
+
+from repro.logic.faults import (
+    FunctionalYieldResult,
+    functional_yield,
+    machine_with_faults,
+    runs_counting_program,
+    runs_sorting_program,
+    sample_stuck_faults,
+)
+from repro.logic.gates import (
+    GATE_FUNCTIONS,
+    Gate,
+    LogicNetlist,
+    build_full_subtractor,
+    build_ripple_subtractor,
+)
+from repro.logic.technology import LogicTechnology, subneg_cycle_estimate
+from repro.logic.subneg import (
+    Instruction,
+    SubnegMachine,
+    assemble,
+    counting_program,
+    sort_with_machine,
+    sorting_program,
+)
+
+__all__ = [
+    "FunctionalYieldResult",
+    "GATE_FUNCTIONS",
+    "Gate",
+    "Instruction",
+    "LogicTechnology",
+    "LogicNetlist",
+    "SubnegMachine",
+    "assemble",
+    "build_full_subtractor",
+    "build_ripple_subtractor",
+    "counting_program",
+    "functional_yield",
+    "machine_with_faults",
+    "runs_counting_program",
+    "runs_sorting_program",
+    "sample_stuck_faults",
+    "sort_with_machine",
+    "sorting_program",
+    "subneg_cycle_estimate",
+]

@@ -1,0 +1,108 @@
+"""Technology mapping: from a FET model to gate delays and clock rates.
+
+Ties the device level to the computer level: given any
+:class:`repro.devices.FETModel` and a load model, estimate the inverter
+delay (CV/I), map the SUBNEG datapath's critical path into seconds, and
+bound the machine's clock frequency.  Evaluating the mapping with a
+Shulaker-era device setup (back-gated CNFETs driving large pass-gate and
+wiring loads at ~3 V) lands in the kHz clock regime the CNT computer
+actually ran at, while a scaled GAA CNT-FET driving fF-class loads
+supports GHz-class clocks — the "potential benefits" the paper's
+summary points to.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.timing import cv_over_i_delay_s
+from repro.devices.base import FETModel
+from repro.logic.gates import LogicNetlist, build_ripple_subtractor
+
+__all__ = ["LogicTechnology", "subneg_cycle_estimate"]
+
+
+@dataclass(frozen=True)
+class LogicTechnology:
+    """A device + load + supply point defining a logic family's speed.
+
+    Attributes
+    ----------
+    device:
+        The n-type drive device (p-type assumed symmetric).
+    load_capacitance_f:
+        Capacitance each gate output drives (wiring + fan-in).
+    vdd:
+        Supply voltage.
+    name:
+        Label used in reports.
+    """
+
+    device: FETModel
+    load_capacitance_f: float
+    vdd: float
+    name: str = "technology"
+
+    def __post_init__(self) -> None:
+        if self.load_capacitance_f <= 0.0 or self.vdd <= 0.0:
+            raise ValueError("load and supply must be positive")
+
+    @property
+    def inverter_delay_s(self) -> float:
+        """First-order inverter delay C V / I_on."""
+        return cv_over_i_delay_s(self.device, self.load_capacitance_f, self.vdd)
+
+    def critical_path_s(self, netlist: LogicNetlist) -> float:
+        """Critical path of a netlist in this technology [s]."""
+        return netlist.critical_path_delay_s(self.inverter_delay_s)
+
+    def max_clock_hz(self, netlist: LogicNetlist, margin: float = 2.0) -> float:
+        """Clock bound: 1 / (margin * critical path)."""
+        if margin < 1.0:
+            raise ValueError(f"margin must be >= 1, got {margin}")
+        return 1.0 / (margin * self.critical_path_s(netlist))
+
+    def energy_per_cycle_j(self, netlist: LogicNetlist, activity: float = 0.2) -> float:
+        """Switching energy per cycle: activity * gates * C V^2."""
+        if not 0.0 < activity <= 1.0:
+            raise ValueError(f"activity must be in (0, 1], got {activity}")
+        return (
+            activity
+            * netlist.gate_count
+            * self.load_capacitance_f
+            * self.vdd
+            * self.vdd
+        )
+
+
+@dataclass(frozen=True)
+class SubnegCycleEstimate:
+    """Timing summary of a SUBNEG machine in a given technology."""
+
+    technology_name: str
+    word_bits: int
+    inverter_delay_s: float
+    critical_path_s: float
+    clock_hz: float
+    energy_per_cycle_j: float
+
+
+def subneg_cycle_estimate(
+    technology: LogicTechnology, word_bits: int = 8, margin: float = 2.0
+) -> SubnegCycleEstimate:
+    """Estimate the cycle time of a SUBNEG machine's subtractor datapath.
+
+    The ripple-borrow subtractor dominates the SUBNEG cycle (fetch and
+    write-back are memory-bound and excluded — consistent with how the
+    CNT computer's 1-instruction datapath was reported).
+    """
+    alu = build_ripple_subtractor(word_bits)
+    critical = technology.critical_path_s(alu)
+    return SubnegCycleEstimate(
+        technology_name=technology.name,
+        word_bits=word_bits,
+        inverter_delay_s=technology.inverter_delay_s,
+        critical_path_s=critical,
+        clock_hz=technology.max_clock_hz(alu, margin=margin),
+        energy_per_cycle_j=technology.energy_per_cycle_j(alu),
+    )

@@ -1,0 +1,31 @@
+"""Band-structure and electrostatics substrate for carbon electronics.
+
+Public surface:
+
+* :mod:`repro.physics.constants` — physical constants, graphene parameters.
+* :class:`repro.physics.cnt.Chirality` — SWCNT geometry and zone-folded bands.
+* :class:`repro.physics.gnr.ArmchairGNR` — armchair-ribbon tight-binding bands.
+* :class:`repro.physics.bands.BandStructure1D` — shared 1D subband container.
+* :mod:`repro.physics.electrostatics` — gate capacitances, dark space,
+  scale length, SS/DIBL models.
+"""
+
+from repro.physics.bands import BandStructure1D, Subband
+from repro.physics.cnt import Chirality, chirality_for_gap, enumerate_chiralities
+from repro.physics.fermi import fermi_dirac, fermi_integral_f0
+from repro.physics.gnr import ArmchairGNR, gnr_for_gap
+from repro.physics.graphene import exact_subband_edges_ev, graphene_energy_ev
+
+__all__ = [
+    "ArmchairGNR",
+    "BandStructure1D",
+    "Chirality",
+    "Subband",
+    "chirality_for_gap",
+    "enumerate_chiralities",
+    "exact_subband_edges_ev",
+    "fermi_dirac",
+    "fermi_integral_f0",
+    "graphene_energy_ev",
+    "gnr_for_gap",
+]

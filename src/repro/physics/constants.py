@@ -1,0 +1,79 @@
+"""Physical constants and carbon-material parameters.
+
+All constants are in SI units unless the name carries an explicit suffix
+(``_EV`` for electron-volts, ``_NM`` for nanometres).  The graphene
+tight-binding parameters follow the values used throughout the CNT/GNR
+device literature the paper builds on (Ouyang et al., APL 89, 203107;
+Rahman et al., IEEE TED 50, 1853).
+"""
+
+from __future__ import annotations
+
+import math
+
+# --- fundamental constants (CODATA, SI) ---------------------------------
+Q = 1.602176634e-19
+"""Elementary charge [C]."""
+
+H = 6.62607015e-34
+"""Planck constant [J s]."""
+
+HBAR = H / (2.0 * math.pi)
+"""Reduced Planck constant [J s]."""
+
+KB = 1.380649e-23
+"""Boltzmann constant [J/K]."""
+
+KB_EV = KB / Q
+"""Boltzmann constant [eV/K]."""
+
+M0 = 9.1093837015e-31
+"""Free-electron mass [kg]."""
+
+EPS0 = 8.8541878128e-12
+"""Vacuum permittivity [F/m]."""
+
+# --- graphene / carbon-nanotube tight-binding parameters ----------------
+A_CC_NM = 0.142
+"""Carbon-carbon bond length [nm]."""
+
+A_LATTICE_NM = A_CC_NM * math.sqrt(3.0)
+"""Graphene lattice constant a = |a1| = |a2| ~ 0.246 nm."""
+
+GAMMA0_EV = 3.0
+"""Nearest-neighbour hopping energy [eV].
+
+Values between 2.5 and 3.1 eV appear in the literature; 3.0 eV is the
+value that makes E_g = 2 a_cc gamma0 / d match the measured gap of
+~0.85 eV nm / d used by the CNT-FET papers cited by Kreupl.
+"""
+
+VFERMI = 3.0 * (A_CC_NM * 1e-9) * GAMMA0_EV * Q / (2.0 * HBAR)
+"""Graphene Fermi velocity [m/s] implied by (a_cc, gamma0) ~ 9.7e5 m/s."""
+
+# --- conductance quanta --------------------------------------------------
+G0 = 2.0 * Q * Q / H
+"""Conductance quantum (spin-degenerate single mode) [S] ~ 77.5 uS."""
+
+R0_OHM = 1.0 / G0
+"""Resistance quantum [Ohm] ~ 12.9 kOhm."""
+
+CNT_QUANTUM_RESISTANCE_OHM = H / (4.0 * Q * Q)
+"""Minimum two-terminal resistance of a CNT (4 modes: spin x valley) ~ 6.45 kOhm."""
+
+# --- convenient thermal helpers ------------------------------------------
+ROOM_TEMPERATURE_K = 300.0
+
+
+def thermal_voltage(temperature_k: float = ROOM_TEMPERATURE_K) -> float:
+    """Thermal voltage kT/q [V] at the given temperature."""
+    if temperature_k <= 0.0:
+        raise ValueError(f"temperature must be positive, got {temperature_k}")
+    return KB_EV * temperature_k
+
+
+def subthreshold_limit_mv_per_decade(
+    temperature_k: float = ROOM_TEMPERATURE_K,
+) -> float:
+    """Thermionic subthreshold-swing limit kT/q ln(10) [mV/decade] (~59.5 at 300 K)."""
+    return thermal_voltage(temperature_k) * math.log(10.0) * 1e3

@@ -1,0 +1,36 @@
+"""Transport models: Landauer currents, ballistic FET solver, MFP, tunneling."""
+
+from repro.transport.ballistic import (
+    BallisticParameters,
+    OperatingPoint,
+    TopOfBarrierSolver,
+)
+from repro.transport.landauer import (
+    ballistic_current,
+    numeric_landauer_current,
+    quantum_conductance,
+    subband_ballistic_current,
+)
+from repro.transport.scattering import MeanFreePath, ballisticity
+from repro.transport.tunneling import (
+    JunctionProfile,
+    imaginary_dispersion_per_m,
+    junction_btbt_transmission,
+    wkb_transmission_uniform_field,
+)
+
+__all__ = [
+    "BallisticParameters",
+    "JunctionProfile",
+    "MeanFreePath",
+    "OperatingPoint",
+    "TopOfBarrierSolver",
+    "ballistic_current",
+    "ballisticity",
+    "imaginary_dispersion_per_m",
+    "junction_btbt_transmission",
+    "numeric_landauer_current",
+    "quantum_conductance",
+    "subband_ballistic_current",
+    "wkb_transmission_uniform_field",
+]

@@ -1,0 +1,227 @@
+"""Self-consistent ballistic top-of-barrier FET model.
+
+Implements the Rahman-Guo-Datta-Lundstrom "theory of ballistic
+nanotransistors" (IEEE TED 50, 1853 (2003)) for 1D carbon channels — the
+same modelling level behind the FETToy-class simulators used by Ouyang et
+al. (the source of the paper's Fig. 1) and behind the Stanford CNT-FET
+compact models.
+
+Model summary
+-------------
+The channel is represented by its single most-restrictive point (the top
+of the source-drain barrier) with a rigid potential energy shift ``U``
+applied to all subbands:
+
+    U = U_L + U_C
+    U_L = -q (alpha_G V_G + alpha_D V_D)                (Laplace part)
+    U_C = (q^2 / C_sigma) * (N(U) - N0)                  (charging part)
+
+where ``N(U)`` is the carrier density at the barrier top: +k states are
+populated from the source reservoir and -k states from the drain,
+
+    N = sum_j g_j/(2 pi) * [ int_0^inf f(E_j(k)+U - mu_S) dk
+                           + int_0^inf f(E_j(k)+U - mu_D) dk ].
+
+The solved ``U`` yields the Landauer current in closed form (F0
+integrals).  Charge is integrated in k-space, which removes the van Hove
+singularity of the 1D DOS from the numerics.  Per-unit-length
+capacitances and densities are used throughout, so the charging energy is
+independent of an (arbitrary) barrier length.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.physics.bands import BandStructure1D
+from repro.physics.constants import KB_EV, Q, ROOM_TEMPERATURE_K
+from repro.transport.landauer import subband_ballistic_current
+
+__all__ = ["BallisticParameters", "OperatingPoint", "TopOfBarrierSolver"]
+
+_K_SAMPLES = 1200
+_MAX_NEWTON_ITERATIONS = 200
+
+
+@dataclass(frozen=True)
+class BallisticParameters:
+    """Electrostatic and thermal parameters of a top-of-barrier FET.
+
+    Attributes
+    ----------
+    c_ins_f_per_m:
+        Gate-insulator capacitance per unit channel length [F/m]
+        (e.g. from :func:`repro.physics.electrostatics.gate_all_around_capacitance`).
+    alpha_g:
+        Gate control of the barrier, d(-U)/d(qV_G) in [0, 1].  1 means
+        perfect gate control; realistic GAA devices reach ~0.85-0.95.
+    alpha_d:
+        Drain coupling to the barrier (DIBL-like), typically 0.02-0.1.
+    ef_offset_ev:
+        Position of the equilibrium source Fermi level relative to the
+        first subband edge, mu_S - E_c1 [eV].  Negative values mean a
+        barrier at zero gate bias (enhancement-mode device).
+    temperature_k:
+        Lattice/reservoir temperature [K].
+    transmission:
+        Energy-independent channel transmission in (0, 1]; use
+        :func:`repro.transport.scattering.ballisticity` for a finite
+        channel length.
+    """
+
+    c_ins_f_per_m: float
+    alpha_g: float = 0.88
+    alpha_d: float = 0.035
+    ef_offset_ev: float = -0.32
+    temperature_k: float = ROOM_TEMPERATURE_K
+    transmission: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.c_ins_f_per_m <= 0.0:
+            raise ValueError(f"c_ins must be positive, got {self.c_ins_f_per_m}")
+        if not 0.0 < self.alpha_g <= 1.0:
+            raise ValueError(f"alpha_g must be in (0, 1], got {self.alpha_g}")
+        if not 0.0 <= self.alpha_d < 1.0:
+            raise ValueError(f"alpha_d must be in [0, 1), got {self.alpha_d}")
+        if self.temperature_k <= 0.0:
+            raise ValueError(f"temperature must be positive, got {self.temperature_k}")
+        if not 0.0 < self.transmission <= 1.0:
+            raise ValueError(f"transmission must be in (0, 1], got {self.transmission}")
+
+
+@dataclass(frozen=True)
+class OperatingPoint:
+    """Solution of the self-consistent barrier problem at one bias point."""
+
+    vgs: float
+    vds: float
+    barrier_ev: float
+    charge_per_m: float
+    current_a: float
+    iterations: int
+
+
+class TopOfBarrierSolver:
+    """Self-consistent ballistic FET solver for a 1D band structure.
+
+    The solver is stateless across bias points except for cached k-space
+    grids; it is safe to reuse one instance for full I-V surfaces.
+    """
+
+    def __init__(self, bands: BandStructure1D, params: BallisticParameters):
+        self.bands = bands
+        self.params = params
+        # Subband edges relative to the equilibrium source Fermi level
+        # (mu_S = 0): the first edge sits at -ef_offset above mu_S.
+        first_edge = bands.subbands[0].edge_ev
+        self._edges_ev = [
+            band.edge_ev - first_edge - params.ef_offset_ev for band in bands.subbands
+        ]
+        self._kt = KB_EV * params.temperature_k
+        self._n0 = self._density_per_m(barrier_ev=0.0, mu_s=0.0, mu_d=0.0)
+
+    # -- public API --------------------------------------------------------
+    def solve(self, vgs: float, vds: float) -> OperatingPoint:
+        """Solve the barrier self-consistency at (V_GS, V_DS) and report I_D."""
+        params = self.params
+        mu_s, mu_d = 0.0, -vds
+        u_laplace = -(params.alpha_g * vgs + params.alpha_d * vds)
+        charging_ev_m = Q / params.c_ins_f_per_m  # [eV per (1/m) of density]
+
+        barrier = u_laplace  # initial guess: no charging feedback
+        iterations = 0
+        for iterations in range(1, _MAX_NEWTON_ITERATIONS + 1):
+            density = self._density_per_m(barrier, mu_s, mu_d)
+            residual = barrier - u_laplace - charging_ev_m * (density - self._n0)
+            if abs(residual) < 1e-9:
+                break
+            ddensity = self._density_derivative(barrier, mu_s, mu_d)
+            slope = 1.0 - charging_ev_m * ddensity  # ddensity < 0 -> slope > 1
+            step = -residual / slope
+            # Damp large steps: the charge integral is exponential in U.
+            max_step = 10.0 * self._kt
+            step = max(-max_step, min(max_step, step))
+            barrier += step
+        density = self._density_per_m(barrier, mu_s, mu_d)
+        current = self._current_a(barrier, mu_s, mu_d)
+        return OperatingPoint(
+            vgs=vgs,
+            vds=vds,
+            barrier_ev=barrier,
+            charge_per_m=density,
+            current_a=current,
+            iterations=iterations,
+        )
+
+    def current(self, vgs: float, vds: float) -> float:
+        """Drain current I_D [A] at the given bias."""
+        return self.solve(vgs, vds).current_a
+
+    def iv_surface(self, vgs_values, vds_values) -> np.ndarray:
+        """I_D [A] on the outer product grid (len(vgs), len(vds))."""
+        vgs_values = np.asarray(vgs_values, dtype=float)
+        vds_values = np.asarray(vds_values, dtype=float)
+        surface = np.empty((vgs_values.size, vds_values.size))
+        for i, vgs in enumerate(vgs_values):
+            for j, vds in enumerate(vds_values):
+                surface[i, j] = self.current(float(vgs), float(vds))
+        return surface
+
+    def with_transmission(self, transmission: float) -> "TopOfBarrierSolver":
+        """A copy of this solver with a different channel transmission."""
+        return TopOfBarrierSolver(self.bands, replace(self.params, transmission=transmission))
+
+    # -- internals ----------------------------------------------------------
+    def _k_grid(self, band, edge_abs_ev: float, mu_max: float):
+        """k grid covering occupations up to ~30 kT above the higher Fermi level."""
+        e_top_rel = max(mu_max - edge_abs_ev, 0.0) + 30.0 * self._kt
+        k_max = float(band.wavevector_per_m(band.edge_ev + e_top_rel))
+        return np.linspace(0.0, k_max, _K_SAMPLES)
+
+    def _density_per_m(self, barrier_ev: float, mu_s: float, mu_d: float) -> float:
+        total = 0.0
+        mu_max = max(mu_s, mu_d)
+        for band, edge in zip(self.bands.subbands, self._edges_ev):
+            edge_abs = edge + barrier_ev
+            k = self._k_grid(band, edge_abs, mu_max)
+            energy_abs = edge_abs + (band.energy_ev(k) - band.edge_ev)
+            occ_s = _fermi((energy_abs - mu_s) / self._kt)
+            occ_d = _fermi((energy_abs - mu_d) / self._kt)
+            total += band.degeneracy / (2.0 * math.pi) * float(
+                np.trapezoid(occ_s + occ_d, k)
+            )
+        return total
+
+    def _density_derivative(self, barrier_ev: float, mu_s: float, mu_d: float) -> float:
+        """dN/dU [1/(m eV)]; always negative (raising the barrier empties it)."""
+        total = 0.0
+        mu_max = max(mu_s, mu_d)
+        for band, edge in zip(self.bands.subbands, self._edges_ev):
+            edge_abs = edge + barrier_ev
+            k = self._k_grid(band, edge_abs, mu_max)
+            energy_abs = edge_abs + (band.energy_ev(k) - band.edge_ev)
+            for mu in (mu_s, mu_d):
+                x = np.clip((energy_abs - mu) / self._kt, -250.0, 250.0)
+                dfde = -1.0 / (4.0 * self._kt * np.cosh(x / 2.0) ** 2)
+                total += band.degeneracy / (2.0 * math.pi) * float(np.trapezoid(dfde, k))
+        return total
+
+    def _current_a(self, barrier_ev: float, mu_s: float, mu_d: float) -> float:
+        total = 0.0
+        for band, edge in zip(self.bands.subbands, self._edges_ev):
+            total += subband_ballistic_current(
+                edge_ev=edge + barrier_ev,
+                degeneracy=band.degeneracy,
+                mu_source_ev=mu_s,
+                mu_drain_ev=mu_d,
+                temperature_k=self.params.temperature_k,
+                transmission=self.params.transmission,
+            )
+        return total
+
+
+def _fermi(x):
+    return 1.0 / (1.0 + np.exp(np.clip(x, -500.0, 500.0)))

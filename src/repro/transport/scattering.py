@@ -1,0 +1,102 @@
+"""Mean-free-path and ballisticity models for carbon channels.
+
+Short-channel CNT-FETs are quasi-ballistic: the paper's introduction
+argues that in this regime the source injection velocity — not mobility —
+sets the current, and a carrier that travels one mean free path has
+effectively reached the drain.  The standard reduction captures this with
+an energy-averaged transmission
+
+    T = lambda / (lambda + L)
+
+where ``lambda`` is the combined mean free path (MFP) and ``L`` the
+channel length.  MFP values follow the CNT transport literature: acoustic
+phonon scattering with lambda_ap ~ 300 nm (diameter- and temperature-
+scaled) and optical phonon emission with lambda_op ~ 15 nm once carriers
+gain the ~0.16 eV phonon energy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.physics.constants import ROOM_TEMPERATURE_K
+
+__all__ = ["MeanFreePath", "ballisticity", "series_channel_resistance_ohm"]
+
+OPTICAL_PHONON_ENERGY_EV = 0.16
+"""Zone-boundary/optical phonon energy of carbon nanotubes [eV]."""
+
+
+@dataclass(frozen=True)
+class MeanFreePath:
+    """Diameter- and temperature-scaled mean free paths of a CNT.
+
+    Reference values are for a d = 1.5 nm tube at 300 K; both acoustic and
+    optical MFPs scale linearly with diameter, and the acoustic MFP
+    inversely with temperature (phonon occupation).
+    """
+
+    diameter_nm: float = 1.5
+    temperature_k: float = ROOM_TEMPERATURE_K
+    acoustic_ref_nm: float = 300.0
+    optical_ref_nm: float = 15.0
+
+    def __post_init__(self) -> None:
+        if self.diameter_nm <= 0.0:
+            raise ValueError(f"diameter must be positive, got {self.diameter_nm}")
+        if self.temperature_k <= 0.0:
+            raise ValueError(f"temperature must be positive, got {self.temperature_k}")
+
+    @property
+    def acoustic_nm(self) -> float:
+        """Acoustic-phonon MFP [nm] ~ 300 nm * (d / 1.5 nm) * (300 K / T)."""
+        return (
+            self.acoustic_ref_nm
+            * (self.diameter_nm / 1.5)
+            * (ROOM_TEMPERATURE_K / self.temperature_k)
+        )
+
+    @property
+    def optical_nm(self) -> float:
+        """Optical-phonon emission MFP [nm] ~ 15 nm * (d / 1.5 nm)."""
+        return self.optical_ref_nm * (self.diameter_nm / 1.5)
+
+    def effective_nm(self, bias_v: float = 0.0) -> float:
+        """Matthiessen-combined MFP [nm].
+
+        Optical emission only contributes once carriers can gain the
+        phonon energy from the bias; below ~0.16 V it is frozen out and
+        the acoustic MFP dominates — one reason CNT-FETs stay
+        quasi-ballistic at the low supply voltages the paper targets.
+        """
+        if bias_v < OPTICAL_PHONON_ENERGY_EV:
+            return self.acoustic_nm
+        inverse = 1.0 / self.acoustic_nm + 1.0 / self.optical_nm
+        return 1.0 / inverse
+
+
+def ballisticity(channel_length_nm: float, mfp_nm: float) -> float:
+    """Channel transmission T = lambda / (lambda + L) in (0, 1]."""
+    if channel_length_nm < 0.0:
+        raise ValueError(f"channel length must be >= 0, got {channel_length_nm}")
+    if mfp_nm <= 0.0:
+        raise ValueError(f"mean free path must be positive, got {mfp_nm}")
+    return mfp_nm / (mfp_nm + channel_length_nm)
+
+
+def series_channel_resistance_ohm(
+    channel_length_nm: float,
+    mfp_nm: float,
+    quantum_resistance_ohm: float,
+) -> float:
+    """Two-terminal resistance R = R_Q / T = R_Q (1 + L / lambda) [Ohm].
+
+    Reproduces the length scaling of CNT resistance measured by Franklin &
+    Chen (Nature Nano 5, 858 (2010)), the paper's reference [16] with its
+    ~11 kOhm short-channel floor.
+    """
+    if quantum_resistance_ohm <= 0.0:
+        raise ValueError(
+            f"quantum resistance must be positive, got {quantum_resistance_ohm}"
+        )
+    return quantum_resistance_ohm / ballisticity(channel_length_nm, mfp_nm)

@@ -1,0 +1,84 @@
+"""RF metrics: intrinsic gain, f_T, f_max and the no-saturation collapse."""
+
+import math
+
+import pytest
+
+from repro.analysis.rf import intrinsic_gain, rf_metrics
+from repro.devices.empirical import AlphaPowerFET, NonSaturatingFET
+
+
+@pytest.fixture
+def saturating():
+    return AlphaPowerFET()
+
+
+@pytest.fixture
+def linear():
+    return NonSaturatingFET(g_on_s=4e-4, vt=0.2, smoothing_v=0.3)
+
+
+class TestIntrinsicGain:
+    def test_saturating_device_high_gain(self, saturating):
+        assert intrinsic_gain(saturating, 0.8, 0.8) > 5.0
+
+    def test_linear_device_gain_near_or_below_unity(self, linear):
+        # gds = G(vgs) while gm = G'(vgs) * vds: gain ~ vds G'/G <~ 1.
+        assert intrinsic_gain(linear, 0.8, 0.8) < 2.0
+
+    def test_gain_improves_deeper_in_saturation(self, saturating):
+        assert intrinsic_gain(saturating, 0.8, 0.9) > intrinsic_gain(
+            saturating, 0.8, 0.3
+        )
+
+
+class TestRFMetrics:
+    def test_ft_formula(self, saturating):
+        metrics = rf_metrics(saturating, 0.8, 0.8, c_gate_total_f=100e-18)
+        assert metrics.ft_hz == pytest.approx(
+            metrics.gm_s / (2 * math.pi * 100e-18), rel=1e-9
+        )
+
+    def test_smaller_gate_cap_faster(self, saturating):
+        slow = rf_metrics(saturating, 0.8, 0.8, c_gate_total_f=200e-18)
+        fast = rf_metrics(saturating, 0.8, 0.8, c_gate_total_f=50e-18)
+        assert fast.ft_hz > slow.ft_hz
+
+    def test_fmax_penalised_by_gate_resistance(self, saturating):
+        low_rg = rf_metrics(
+            saturating, 0.8, 0.8, c_gate_total_f=100e-18, gate_resistance_ohm=10.0
+        )
+        high_rg = rf_metrics(
+            saturating, 0.8, 0.8, c_gate_total_f=100e-18, gate_resistance_ohm=1000.0
+        )
+        assert low_rg.fmax_hz > high_rg.fmax_hz
+
+    def test_no_saturation_hurts_fmax_more_than_ft(self, saturating, linear):
+        # The paper's Section II chain: both devices have comparable gm/C
+        # (f_T), but the linear device's gds wrecks f_max.
+        sat = rf_metrics(saturating, 0.8, 0.8, c_gate_total_f=60e-18)
+        lin = rf_metrics(linear, 0.8, 0.8, c_gate_total_f=60e-18)
+        ft_ratio = sat.ft_hz / lin.ft_hz
+        fmax_ratio = sat.fmax_hz / lin.fmax_hz
+        assert fmax_ratio > ft_ratio
+        assert sat.intrinsic_gain > 5.0 > lin.intrinsic_gain
+
+    def test_fmax_over_ft_property(self, saturating):
+        metrics = rf_metrics(saturating, 0.8, 0.8, c_gate_total_f=60e-18)
+        assert metrics.fmax_over_ft == pytest.approx(metrics.fmax_hz / metrics.ft_hz)
+
+    def test_validation(self, saturating):
+        with pytest.raises(ValueError):
+            rf_metrics(saturating, 0.8, 0.8, c_gate_total_f=0.0)
+        with pytest.raises(ValueError):
+            rf_metrics(saturating, 0.8, 0.8, 100e-18, gate_resistance_ohm=0.0)
+        with pytest.raises(ValueError):
+            rf_metrics(saturating, 0.8, 0.8, 100e-18, c_gate_drain_f=200e-18)
+
+    def test_off_device_rejected(self, saturating):
+        class NoGm(AlphaPowerFET):
+            def current(self, vgs, vds):
+                return 1e-6  # flat: zero transconductance
+
+        with pytest.raises(ValueError):
+            rf_metrics(NoGm(), 0.8, 0.8, 100e-18)

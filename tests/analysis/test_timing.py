@@ -1,0 +1,110 @@
+"""Timing/energy extraction from transients and first-order estimators."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.timing import (
+    cv_over_i_delay_s,
+    intrinsic_energy_delay,
+    propagation_delays,
+    supply_energy_j,
+)
+from repro.circuit.cells import build_inverter
+from repro.circuit.transient import TransientResult, transient
+from repro.circuit.waveforms import Pulse
+from repro.devices.empirical import AlphaPowerFET
+
+
+def synthetic_result():
+    """Hand-built waveform pair: input rises at 1 ns, output falls at 1.2 ns."""
+    t = np.linspace(0.0, 4e-9, 401)
+    v_in = np.where(t > 1e-9, 1.0, 0.0) * np.where(t < 3e-9, 1.0, 0.0)
+    v_out = 1.0 - np.where(t > 1.2e-9, 1.0, 0.0) * np.where(t < 3.3e-9, 1.0, 0.0)
+    i_vdd = np.full_like(t, -1e-6)
+    return TransientResult(
+        time_s=t,
+        voltages={"in": v_in, "out": v_out},
+        source_currents={"VDD": i_vdd},
+    )
+
+
+class TestPropagationDelays:
+    def test_synthetic_delays(self):
+        delays = propagation_delays(synthetic_result(), "in", "out", vdd=1.0)
+        assert delays.tp_hl_s == pytest.approx(0.2e-9, abs=2e-11)
+        assert delays.tp_lh_s == pytest.approx(0.3e-9, abs=2e-11)
+        assert delays.average_s == pytest.approx(0.25e-9, abs=2e-11)
+
+    def test_missing_transition_raises(self):
+        t = np.linspace(0, 1e-9, 11)
+        flat = TransientResult(
+            time_s=t,
+            voltages={"in": np.zeros_like(t), "out": np.ones_like(t)},
+            source_currents={},
+        )
+        with pytest.raises(ValueError):
+            propagation_delays(flat, "in", "out", vdd=1.0)
+
+    def test_real_inverter_delay_scale(self):
+        fet = AlphaPowerFET()
+        stimulus = Pulse(
+            v1=0.0, v2=1.0, delay_s=0.1e-9, rise_s=10e-12, fall_s=10e-12,
+            width_s=1.5e-9, period_s=3e-9,
+        )
+        cell = build_inverter(
+            fet, vdd=1.0, load_capacitance_f=10e-15, input_waveform=stimulus
+        )
+        result = transient(cell.circuit, 3e-9, 3e-12)
+        delays = propagation_delays(result, "in", "out", 1.0)
+        # CV/I scale: 10 fF * 1 V / ~0.2 mA ~ 50 ps; transient within 5x.
+        estimate = cv_over_i_delay_s(fet, 10e-15, 1.0)
+        assert delays.average_s < 5.0 * estimate
+        assert delays.average_s > 0.1 * estimate
+
+
+class TestSupplyEnergy:
+    def test_constant_current_energy(self):
+        result = synthetic_result()
+        # 1 uA for 4 ns at 1 V -> 4 fJ.
+        energy = supply_energy_j(result, "VDD", vdd=1.0)
+        assert energy == pytest.approx(4e-15, rel=1e-6)
+
+    def test_window_selection(self):
+        result = synthetic_result()
+        half = supply_energy_j(result, "VDD", 1.0, t_start_s=0.0, t_stop_s=2e-9)
+        assert half == pytest.approx(2e-15, rel=1e-6)
+
+    def test_empty_window_raises(self):
+        with pytest.raises(ValueError):
+            supply_energy_j(synthetic_result(), "VDD", 1.0, 1e-9, 1e-9)
+
+
+class TestEstimators:
+    def test_cv_over_i(self):
+        fet = AlphaPowerFET()
+        delay = cv_over_i_delay_s(fet, 10e-15, 1.0)
+        assert delay == pytest.approx(10e-15 * 1.0 / fet.current(1.0, 1.0))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            cv_over_i_delay_s(AlphaPowerFET(), 0.0, 1.0)
+
+    def test_off_device_rejected(self):
+        class DeadFET(AlphaPowerFET):
+            def current(self, vgs, vds):
+                return 0.0
+
+        with pytest.raises(ValueError):
+            cv_over_i_delay_s(DeadFET(), 1e-15, 1.0)
+
+    def test_nearly_off_device_is_just_slow(self):
+        # A real subthreshold device never carries exactly zero current;
+        # the estimator returns a (huge) finite delay.
+        slow = AlphaPowerFET(vt=5.0)
+        assert cv_over_i_delay_s(slow, 1e-15, 1.0) > 1.0
+
+    def test_energy_delay_pair(self):
+        fet = AlphaPowerFET()
+        energy, delay = intrinsic_energy_delay(fet, 10e-15, 1.0)
+        assert energy == pytest.approx(10e-15)
+        assert delay > 0.0

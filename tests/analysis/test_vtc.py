@@ -1,0 +1,74 @@
+"""VTC metrics on synthetic transfer curves with known geometry."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.vtc import analyze_vtc
+
+
+def steep_vtc(vdd=1.0, vm=0.5, steepness=40.0, n=401):
+    v_in = np.linspace(0.0, vdd, n)
+    v_out = vdd / (1.0 + np.exp(steepness * (v_in - vm)))
+    return v_in, v_out
+
+
+class TestRegenerativeVTC:
+    def test_rails(self):
+        v_in, v_out = steep_vtc()
+        m = analyze_vtc(v_in, v_out)
+        assert m.v_out_high == pytest.approx(1.0, abs=1e-6)
+        assert m.v_out_low == pytest.approx(0.0, abs=1e-6)
+
+    def test_gain_exceeds_unity(self):
+        v_in, v_out = steep_vtc(steepness=40.0)
+        m = analyze_vtc(v_in, v_out)
+        assert m.has_regeneration
+        assert m.max_abs_gain == pytest.approx(10.0, rel=0.05)  # vdd*k/4
+
+    def test_unity_gain_points_bracket_vm(self):
+        v_in, v_out = steep_vtc(vm=0.5)
+        m = analyze_vtc(v_in, v_out)
+        assert m.v_il is not None and m.v_ih is not None
+        assert m.v_il < 0.5 < m.v_ih
+
+    def test_noise_margins_symmetric(self):
+        v_in, v_out = steep_vtc(vm=0.5)
+        m = analyze_vtc(v_in, v_out)
+        assert m.nm_low == pytest.approx(m.nm_high, abs=0.01)
+        assert m.nm_low > 0.3
+
+    def test_switching_threshold(self):
+        v_in, v_out = steep_vtc(vm=0.5)
+        m = analyze_vtc(v_in, v_out)
+        assert m.switching_threshold_v == pytest.approx(0.5, abs=0.01)
+
+    def test_steeper_curve_better_margins(self):
+        m1 = analyze_vtc(*steep_vtc(steepness=10.0))
+        m2 = analyze_vtc(*steep_vtc(steepness=80.0))
+        assert m2.nm_low > m1.nm_low
+
+
+class TestNonRegenerativeVTC:
+    def test_shallow_curve_has_zero_margin(self):
+        # |gain| max = 0.8 < 1: the paper's non-saturating inverter case.
+        v_in = np.linspace(0.0, 1.0, 101)
+        v_out = 0.9 - 0.8 * v_in
+        m = analyze_vtc(v_in, v_out)
+        assert not m.has_regeneration
+        assert m.nm_low == 0.0 and m.nm_high == 0.0
+        assert m.v_il is None and m.v_ih is None
+        assert m.max_abs_gain == pytest.approx(0.8, rel=1e-6)
+
+
+class TestValidation:
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            analyze_vtc([0, 0.5, 1.0], [1.0, 0.5])
+
+    def test_non_monotone_input(self):
+        with pytest.raises(ValueError):
+            analyze_vtc([0.0, 0.5, 0.4, 1.0, 1.1], [1, 1, 1, 0, 0])
+
+    def test_too_few_points(self):
+        with pytest.raises(ValueError):
+            analyze_vtc([0.0, 1.0], [1.0, 0.0])

@@ -1,0 +1,93 @@
+"""Small-signal AC analysis against closed-form frequency responses."""
+
+import numpy as np
+import pytest
+
+from repro.circuit.ac import ac_analysis
+from repro.circuit.netlist import Circuit, CircuitError
+from repro.circuit.waveforms import DC
+from repro.devices.base import PType
+from repro.devices.empirical import AlphaPowerFET
+
+
+def rc_lowpass(r=1e3, c=1e-9):
+    circuit = Circuit()
+    circuit.add_voltage_source("VIN", "a", "0", DC(0.0))
+    circuit.add_resistor("R", "a", "b", r)
+    circuit.add_capacitor("C", "b", "0", c)
+    return circuit
+
+
+class TestRCLowpass:
+    def test_matches_analytic_magnitude(self):
+        r, c = 1e3, 1e-9
+        frequencies = np.logspace(3, 8, 61)
+        result = ac_analysis(rc_lowpass(r, c), "VIN", frequencies)
+        measured = np.abs(result.transfer("b"))
+        expected = 1.0 / np.sqrt(1.0 + (2 * np.pi * frequencies * r * c) ** 2)
+        assert np.max(np.abs(measured - expected)) < 1e-9
+
+    def test_phase_approaches_minus_90(self):
+        result = ac_analysis(rc_lowpass(), "VIN", np.logspace(3, 9, 61))
+        phase = result.phase_deg("b")
+        assert phase[0] == pytest.approx(0.0, abs=1.0)
+        assert phase[-1] == pytest.approx(-90.0, abs=2.0)
+
+    def test_input_node_is_unity(self):
+        result = ac_analysis(rc_lowpass(), "VIN", np.logspace(3, 6, 11))
+        assert np.abs(result.transfer("a")) == pytest.approx(1.0, abs=1e-12)
+
+    def test_validation(self):
+        with pytest.raises(CircuitError):
+            ac_analysis(rc_lowpass(), "VIN", [])
+        with pytest.raises(CircuitError):
+            ac_analysis(rc_lowpass(), "VIN", [-1.0])
+        with pytest.raises(CircuitError):
+            ac_analysis(rc_lowpass(), "VX", [1e3])
+
+
+class TestRCDivider:
+    def test_resistive_divider_flat(self):
+        circuit = Circuit()
+        circuit.add_voltage_source("VIN", "a", "0", DC(0.0))
+        circuit.add_resistor("R1", "a", "b", 1e3)
+        circuit.add_resistor("R2", "b", "0", 3e3)
+        result = ac_analysis(circuit, "VIN", np.logspace(2, 9, 15))
+        assert np.abs(result.transfer("b")) == pytest.approx(0.75, abs=1e-12)
+
+
+class TestAmplifier:
+    def make_common_source(self, load_c=1e-15):
+        circuit = Circuit()
+        circuit.add_voltage_source("VDD", "vdd", "0", DC(1.0))
+        circuit.add_voltage_source("VIN", "in", "0", DC(0.5))
+        fet = AlphaPowerFET()
+        circuit.add_fet("MP", "out", "in", "vdd", PType(fet))
+        circuit.add_fet("MN", "out", "in", "0", fet)
+        circuit.add_capacitor("CL", "out", "0", load_c)
+        return circuit
+
+    def test_inverter_gain_at_low_frequency(self):
+        circuit = self.make_common_source()
+        result = ac_analysis(circuit, "VIN", np.logspace(3, 6, 7))
+        # At V_M the inverter's small-signal gain is -(gm_n+gm_p)/(gds sum),
+        # well above 1 for saturating devices.
+        gain = np.abs(result.transfer("out"))[0]
+        assert gain > 5.0
+
+    def test_single_pole_rolloff(self):
+        circuit = self.make_common_source(load_c=1e-12)
+        frequencies = np.logspace(5, 12, 71)
+        result = ac_analysis(circuit, "VIN", frequencies)
+        magnitude = np.abs(result.transfer("out"))
+        # -20 dB/decade well past the pole.
+        ratio = magnitude[-1] / magnitude[-8]
+        decades = np.log10(frequencies[-1] / frequencies[-8])
+        assert 20 * np.log10(ratio) == pytest.approx(-20 * decades, abs=1.5)
+
+    def test_unity_gain_frequency(self):
+        circuit = self.make_common_source(load_c=1e-12)
+        result = ac_analysis(circuit, "VIN", np.logspace(5, 12, 141))
+        ugf = result.unity_gain_frequency_hz("out")
+        # gm/(2 pi C) scale: a few hundred MHz for ~0.5 mS into 1 pF.
+        assert 1e7 < ugf < 1e10

@@ -1,0 +1,115 @@
+"""DC analyses against closed-form circuit theory."""
+
+import numpy as np
+import pytest
+
+from repro.circuit.dc import dc_sweep, operating_point
+from repro.circuit.netlist import Circuit, CircuitError
+from repro.circuit.waveforms import DC
+from repro.devices.empirical import AlphaPowerFET
+
+
+def divider(r1=1000.0, r2=1000.0, v=2.0):
+    c = Circuit("divider")
+    c.add_voltage_source("V1", "a", "0", DC(v))
+    c.add_resistor("R1", "a", "b", r1)
+    c.add_resistor("R2", "b", "0", r2)
+    return c
+
+
+class TestOperatingPoint:
+    def test_divider_voltage(self):
+        op = operating_point(divider())
+        assert op.voltage("b") == pytest.approx(1.0, abs=1e-6)
+
+    def test_divider_unequal(self):
+        op = operating_point(divider(r1=3000.0, r2=1000.0, v=4.0))
+        assert op.voltage("b") == pytest.approx(1.0, abs=1e-6)
+
+    def test_source_current_direction(self):
+        op = operating_point(divider())
+        # 2 V across 2 kOhm: 1 mA flows out of the source's + terminal,
+        # so the branch current (p -> n inside the source) is -1 mA.
+        assert op.source_current("V1") == pytest.approx(-1e-3, rel=1e-6)
+
+    def test_ground_voltage_zero(self):
+        op = operating_point(divider())
+        assert op.voltage("0") == 0.0
+        assert op.voltage("gnd") == 0.0
+
+    def test_unknown_node_raises(self):
+        op = operating_point(divider())
+        with pytest.raises(CircuitError):
+            op.voltage("nope")
+
+    def test_current_source_into_resistor(self):
+        c = Circuit()
+        c.add_current_source("I1", "0", "x", DC(1e-3))  # pushes into x
+        c.add_resistor("R1", "x", "0", 2000.0)
+        op = operating_point(c)
+        assert op.voltage("x") == pytest.approx(2.0, rel=1e-6)
+
+    def test_two_sources_superposition(self):
+        c = Circuit()
+        c.add_voltage_source("V1", "a", "0", DC(1.0))
+        c.add_voltage_source("V2", "b", "0", DC(2.0))
+        c.add_resistor("R1", "a", "mid", 1000.0)
+        c.add_resistor("R2", "b", "mid", 1000.0)
+        c.add_resistor("R3", "mid", "0", 1000.0)
+        op = operating_point(c)
+        assert op.voltage("mid") == pytest.approx(1.0, abs=1e-6)
+
+    def test_empty_circuit_rejected(self):
+        with pytest.raises(CircuitError):
+            operating_point(Circuit())
+
+    def test_duplicate_element_name_rejected(self):
+        c = Circuit()
+        c.add_resistor("R1", "a", "0", 100.0)
+        with pytest.raises(CircuitError):
+            c.add_resistor("R1", "b", "0", 100.0)
+
+    def test_capacitor_open_in_dc(self):
+        c = divider()
+        c.add_capacitor("C1", "b", "0", 1e-9)
+        op = operating_point(c)
+        assert op.voltage("b") == pytest.approx(1.0, abs=1e-6)
+
+    def test_nonlinear_fet_operating_point(self):
+        c = Circuit()
+        c.add_voltage_source("VDD", "vdd", "0", DC(1.0))
+        c.add_voltage_source("VG", "g", "0", DC(0.8))
+        c.add_resistor("RD", "vdd", "d", 10e3)
+        c.add_fet("M1", "d", "g", "0", AlphaPowerFET())
+        op = operating_point(c)
+        fet = AlphaPowerFET()
+        vd = op.voltage("d")
+        # KCL at the drain: (1 - vd)/10k = I_fet(0.8, vd).
+        assert (1.0 - vd) / 10e3 == pytest.approx(fet.current(0.8, vd), rel=1e-6)
+
+
+class TestDCSweep:
+    def test_sweep_tracks_divider(self):
+        c = divider()
+        values = np.linspace(0.0, 2.0, 11)
+        sweep = dc_sweep(c, "V1", values)
+        assert sweep.voltage("b") == pytest.approx(values / 2.0, abs=1e-6)
+
+    def test_sweep_restores_waveform(self):
+        c = divider()
+        source = c.elements[0]
+        original = source.waveform
+        dc_sweep(c, "V1", [0.5, 1.0])
+        assert source.waveform is original
+
+    def test_missing_source(self):
+        with pytest.raises(CircuitError):
+            dc_sweep(divider(), "VX", [0.0, 1.0])
+
+    def test_empty_sweep(self):
+        with pytest.raises(CircuitError):
+            dc_sweep(divider(), "V1", [])
+
+    def test_sweep_currents_recorded(self):
+        sweep = dc_sweep(divider(), "V1", [1.0, 2.0])
+        assert sweep.source_current("V1")[1] == pytest.approx(-1e-3, rel=1e-5)

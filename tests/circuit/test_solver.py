@@ -1,0 +1,102 @@
+"""Newton solver robustness: KCL residuals, homotopies, hard starts."""
+
+import numpy as np
+import pytest
+
+from repro.circuit.netlist import Circuit
+from repro.circuit.solver import newton_solve, solve_dc
+from repro.circuit.waveforms import DC
+from repro.devices.base import PType
+from repro.devices.empirical import AlphaPowerFET
+
+
+def inverter_circuit(vin=0.5):
+    c = Circuit()
+    c.add_voltage_source("VDD", "vdd", "0", DC(1.0))
+    c.add_voltage_source("VIN", "in", "0", DC(vin))
+    fet = AlphaPowerFET()
+    c.add_fet("MP", "out", "in", "vdd", PType(fet))
+    c.add_fet("MN", "out", "in", "0", fet)
+    return c
+
+
+class TestNewton:
+    def test_linear_circuit_one_step(self):
+        c = Circuit()
+        c.add_voltage_source("V1", "a", "0", DC(1.0))
+        c.add_resistor("R1", "a", "b", 1e3)
+        c.add_resistor("R2", "b", "0", 1e3)
+        system = c.build_system()
+        x, converged = newton_solve(system, np.zeros(system.size))
+        assert converged
+        residual, _ = system.evaluate(x)
+        assert np.max(np.abs(residual)) < 1e-10
+
+    def test_kcl_residual_at_solution(self):
+        system = inverter_circuit(0.5).build_system()
+        x = solve_dc(system)
+        residual, _ = system.evaluate(x)
+        assert np.max(np.abs(residual)) < 1e-9
+
+    def test_cold_start_mid_transition(self):
+        # Both FETs half-on: the classic hard DC point.
+        system = inverter_circuit(0.5).build_system()
+        x = solve_dc(system)
+        out = system.voltage_of(x, "out")
+        assert 0.3 < out < 0.7  # symmetric pair -> mid-rail output
+
+    def test_rails_solve(self):
+        for vin, expected in [(0.0, 1.0), (1.0, 0.0)]:
+            system = inverter_circuit(vin).build_system()
+            x = solve_dc(system)
+            assert system.voltage_of(x, "out") == pytest.approx(expected, abs=1e-2)
+
+    def test_gmin_kwarg_adds_leak(self):
+        c = Circuit()
+        c.add_current_source("I1", "0", "x", DC(1e-6))
+        c.add_resistor("R1", "x", "0", 1e6)
+        system = c.build_system()
+        x_leaky, ok = newton_solve(system, np.zeros(system.size), gmin=1e-6)
+        assert ok
+        # 1 uA into 1 MOhm || 1 MOhm (gmin) = 0.5 V.
+        assert system.voltage_of(x_leaky, "x") == pytest.approx(0.5, rel=1e-6)
+
+    def test_source_scale_scales_solution(self):
+        c = Circuit()
+        c.add_voltage_source("V1", "a", "0", DC(2.0))
+        c.add_resistor("R1", "a", "0", 1e3)
+        system = c.build_system()
+        x_half, ok = newton_solve(system, np.zeros(system.size), source_scale=0.5)
+        assert ok
+        assert system.voltage_of(x_half, "a") == pytest.approx(1.0)
+
+
+class TestStiffCircuits:
+    def test_wide_conductance_spread(self):
+        # 9 decades of resistance spread in one circuit.
+        c = Circuit()
+        c.add_voltage_source("V1", "a", "0", DC(1.0))
+        c.add_resistor("R1", "a", "b", 1.0)
+        c.add_resistor("R2", "b", "c", 1e9)
+        c.add_resistor("R3", "c", "0", 1.0)
+        system = c.build_system()
+        x = solve_dc(system)
+        assert system.voltage_of(x, "b") == pytest.approx(1.0, abs=1e-6)
+        assert system.voltage_of(x, "c") == pytest.approx(0.0, abs=1e-6)
+
+    def test_series_fet_stack(self):
+        # Two stacked FETs (NAND-style pulldown) with a resistive load.
+        c = Circuit()
+        c.add_voltage_source("VDD", "vdd", "0", DC(1.0))
+        c.add_voltage_source("VA", "a", "0", DC(1.0))
+        c.add_voltage_source("VB", "b", "0", DC(1.0))
+        c.add_resistor("RL", "vdd", "out", 50e3)
+        fet = AlphaPowerFET()
+        c.add_fet("M1", "out", "a", "mid", fet)
+        c.add_fet("M2", "mid", "b", "0", fet)
+        system = c.build_system()
+        x = solve_dc(system)
+        out = system.voltage_of(x, "out")
+        mid = system.voltage_of(x, "mid")
+        assert 0.0 <= mid <= out <= 1.0
+        assert out < 0.3  # both gates high: output pulled low

@@ -1,0 +1,96 @@
+"""Source waveforms: DC, pulse, PWL, sine."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.circuit.waveforms import DC, PiecewiseLinear, Pulse, Sine
+
+
+class TestDC:
+    def test_constant(self):
+        wf = DC(1.5)
+        assert wf.value(0.0) == 1.5
+        assert wf.value(1e9) == 1.5
+        assert wf.dc == 1.5
+
+
+class TestPulse:
+    @pytest.fixture
+    def pulse(self):
+        return Pulse(
+            v1=0.0, v2=1.0, delay_s=1e-9, rise_s=1e-10, fall_s=1e-10,
+            width_s=1e-9, period_s=4e-9,
+        )
+
+    def test_before_delay(self, pulse):
+        assert pulse.value(0.5e-9) == 0.0
+
+    def test_mid_rise(self, pulse):
+        assert pulse.value(1e-9 + 0.5e-10) == pytest.approx(0.5)
+
+    def test_high_plateau(self, pulse):
+        assert pulse.value(1e-9 + 1e-10 + 0.5e-9) == 1.0
+
+    def test_mid_fall(self, pulse):
+        t = 1e-9 + 1e-10 + 1e-9 + 0.5e-10
+        assert pulse.value(t) == pytest.approx(0.5)
+
+    def test_low_after_fall(self, pulse):
+        assert pulse.value(1e-9 + 3e-9) == 0.0
+
+    def test_periodicity(self, pulse):
+        t = 1e-9 + 0.7e-9
+        assert pulse.value(t) == pytest.approx(pulse.value(t + 4e-9))
+
+    def test_dc_is_initial_level(self, pulse):
+        assert pulse.dc == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Pulse(0.0, 1.0, rise_s=0.0)
+        with pytest.raises(ValueError):
+            Pulse(0.0, 1.0, rise_s=1e-9, fall_s=1e-9, width_s=1e-9, period_s=1e-9)
+
+
+class TestPiecewiseLinear:
+    def test_interpolation(self):
+        wf = PiecewiseLinear(points=((0.0, 0.0), (1.0, 2.0)))
+        assert wf.value(0.5) == pytest.approx(1.0)
+
+    def test_clamps_outside(self):
+        wf = PiecewiseLinear(points=((1.0, 3.0), (2.0, 5.0)))
+        assert wf.value(0.0) == 3.0
+        assert wf.value(10.0) == 5.0
+
+    def test_requires_sorted_times(self):
+        with pytest.raises(ValueError):
+            PiecewiseLinear(points=((1.0, 0.0), (0.5, 1.0)))
+
+    def test_requires_points(self):
+        with pytest.raises(ValueError):
+            PiecewiseLinear(points=())
+
+    def test_step_discontinuity_allowed(self):
+        wf = PiecewiseLinear(points=((0.0, 0.0), (1.0, 0.0), (1.0, 2.0), (2.0, 2.0)))
+        assert wf.value(1.5) == 2.0
+
+
+class TestSine:
+    def test_offset_and_amplitude(self):
+        wf = Sine(offset=0.5, amplitude=0.2, frequency_hz=1e6)
+        assert wf.value(0.0) == pytest.approx(0.5)
+        assert wf.value(0.25e-6) == pytest.approx(0.7)
+
+    def test_dc_is_offset(self):
+        assert Sine(0.3, 1.0, 1e3).dc == 0.3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Sine(0.0, 1.0, 0.0)
+
+    @given(st.floats(0.0, 1e-3))
+    def test_bounded_by_amplitude(self, t):
+        wf = Sine(offset=0.0, amplitude=1.0, frequency_hz=1e4)
+        assert -1.0 <= wf.value(t) <= 1.0

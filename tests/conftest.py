@@ -1,0 +1,37 @@
+"""Shared fixtures: reference devices are expensive, build them once."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.devices.cntfet import CNTFET
+from repro.devices.gnrfet import GNRFET
+from repro.devices.tfet import CNTTunnelFET
+from repro.physics.cnt import Chirality, chirality_for_gap
+from repro.physics.gnr import ArmchairGNR
+
+
+@pytest.fixture(scope="session")
+def chirality_056() -> Chirality:
+    """The (15,7) tube whose gap matches the paper's 0.56 eV."""
+    return chirality_for_gap(0.56)
+
+
+@pytest.fixture(scope="session")
+def ribbon_056() -> ArmchairGNR:
+    return ArmchairGNR(18)
+
+
+@pytest.fixture(scope="session")
+def reference_cntfet() -> CNTFET:
+    return CNTFET.reference_device()
+
+
+@pytest.fixture(scope="session")
+def reference_gnrfet() -> GNRFET:
+    return GNRFET.for_bandgap(0.56)
+
+
+@pytest.fixture(scope="session")
+def reference_tfet(chirality_056) -> CNTTunnelFET:
+    return CNTTunnelFET(chirality_056)

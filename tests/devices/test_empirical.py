@@ -1,0 +1,136 @@
+"""Empirical device models: alpha-power, non-saturating, tabulated."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.iv import saturation_index
+from repro.devices.empirical import AlphaPowerFET, NonSaturatingFET, TabulatedFET
+
+
+class TestAlphaPowerFET:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AlphaPowerFET(k_a_per_v_alpha=-1.0)
+        with pytest.raises(ValueError):
+            AlphaPowerFET(alpha=0.5)
+        with pytest.raises(ValueError):
+            AlphaPowerFET(sat_fraction=0.0)
+        with pytest.raises(ValueError):
+            AlphaPowerFET(subthreshold_ideality=0.8)
+
+    def test_zero_at_origin(self):
+        assert AlphaPowerFET().current(0.7, 0.0) == pytest.approx(0.0)
+
+    def test_subthreshold_slope_set_by_ideality(self):
+        fet = AlphaPowerFET(vt=0.4, subthreshold_ideality=1.0)
+        i1 = fet.current(0.05, 1.0)
+        i2 = fet.current(0.15, 1.0)
+        # Softplus width scales with alpha, so SS = n * 60 mV/dec exactly.
+        decades = np.log10(i2 / i1)
+        ss_mv = 100.0 / decades
+        assert ss_mv == pytest.approx(59.5, abs=4.0)
+
+    def test_subthreshold_slope_follows_n(self):
+        steep = AlphaPowerFET(vt=0.4, subthreshold_ideality=1.0)
+        soft = AlphaPowerFET(vt=0.4, subthreshold_ideality=1.5)
+        ratio_steep = steep.current(0.15, 1.0) / steep.current(0.05, 1.0)
+        ratio_soft = soft.current(0.15, 1.0) / soft.current(0.05, 1.0)
+        assert ratio_steep > ratio_soft
+
+    def test_output_curve_saturates(self):
+        fet = AlphaPowerFET()
+        vds = np.linspace(0.0, 1.0, 41)
+        curve = np.array([fet.current(0.8, float(v)) for v in vds])
+        assert saturation_index(vds, curve) > 0.7
+
+    def test_channel_modulation_tilts_saturation(self):
+        flat = AlphaPowerFET(channel_modulation=0.0)
+        tilted = AlphaPowerFET(channel_modulation=0.3)
+        gain_flat = flat.current(0.8, 1.0) - flat.current(0.8, 0.8)
+        gain_tilted = tilted.current(0.8, 1.0) - tilted.current(0.8, 0.8)
+        assert gain_tilted > gain_flat
+
+    def test_negative_vds_antisymmetric_mapping(self):
+        fet = AlphaPowerFET()
+        assert fet.current(0.5, -0.3) == pytest.approx(-fet.current(0.8, 0.3))
+
+    @given(st.floats(0.0, 1.2), st.floats(0.0, 1.2))
+    @settings(max_examples=40)
+    def test_nonnegative_forward(self, vgs, vds):
+        assert AlphaPowerFET().current(vgs, vds) >= 0.0
+
+    @given(st.floats(0.3, 1.1))
+    @settings(max_examples=20)
+    def test_monotone_in_vgs(self, vgs):
+        fet = AlphaPowerFET()
+        assert fet.current(vgs + 0.05, 0.6) > fet.current(vgs, 0.6)
+
+
+class TestNonSaturatingFET:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NonSaturatingFET(g_on_s=0.0)
+        with pytest.raises(ValueError):
+            NonSaturatingFET(smoothing_v=-0.1)
+        with pytest.raises(ValueError):
+            NonSaturatingFET(vt=0.9, v_on=0.5)
+
+    def test_perfectly_linear_in_vds(self):
+        fet = NonSaturatingFET()
+        i1 = fet.current(0.8, 0.25)
+        i2 = fet.current(0.8, 0.5)
+        i4 = fet.current(0.8, 1.0)
+        assert i2 == pytest.approx(2 * i1)
+        assert i4 == pytest.approx(4 * i1)
+
+    def test_never_saturates(self):
+        fet = NonSaturatingFET()
+        vds = np.linspace(0.0, 1.0, 41)
+        curve = np.array([fet.current(1.0, float(v)) for v in vds])
+        assert saturation_index(vds, curve) == pytest.approx(0.0, abs=1e-9)
+
+    def test_on_conductance_normalisation(self):
+        fet = NonSaturatingFET(g_on_s=1e-4, v_on=1.0)
+        assert fet.conductance(1.0) == pytest.approx(1e-4)
+
+    def test_turns_off_below_threshold(self):
+        fet = NonSaturatingFET(vt=0.3, smoothing_v=0.05)
+        assert fet.conductance(0.0) < fet.conductance(1.0) / 100.0
+
+    def test_negative_vds_gives_negative_current(self):
+        fet = NonSaturatingFET()
+        assert fet.current(0.8, -0.5) == pytest.approx(-fet.current(0.8, 0.5))
+
+
+class TestTabulatedFET:
+    @pytest.fixture
+    def table(self):
+        source = AlphaPowerFET()
+        vgs = np.linspace(0.0, 1.0, 21)
+        vds = np.linspace(0.0, 1.0, 21)
+        return TabulatedFET.from_model(source, vgs, vds), source
+
+    def test_reproduces_grid_points(self, table):
+        tab, source = table
+        assert tab.current(0.5, 0.5) == pytest.approx(source.current(0.5, 0.5))
+
+    def test_interpolates_between_points(self, table):
+        tab, source = table
+        assert tab.current(0.52, 0.47) == pytest.approx(
+            source.current(0.52, 0.47), rel=0.05
+        )
+
+    def test_clamps_out_of_range(self, table):
+        tab, source = table
+        assert tab.current(5.0, 0.5) == pytest.approx(source.current(1.0, 0.5), rel=1e-6)
+
+    def test_negative_vds_symmetry(self, table):
+        tab, _ = table
+        assert tab.current(0.5, -0.4) == pytest.approx(-tab.current(0.9, 0.4))
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            TabulatedFET([0, 1], [0, 1], np.zeros((3, 2)))
+        with pytest.raises(ValueError):
+            TabulatedFET([1, 0], [0, 1], np.zeros((2, 2)))

@@ -1,0 +1,81 @@
+"""Schottky-barrier contacts: injection limiting of the ballistic bound."""
+
+import numpy as np
+import pytest
+
+from repro.devices.schottky import SchottkyBarrierCNTFET
+
+
+class TestConstruction:
+    def test_validation(self, reference_cntfet):
+        with pytest.raises(ValueError):
+            SchottkyBarrierCNTFET(reference_cntfet, barrier_ev=-0.1)
+        with pytest.raises(ValueError):
+            SchottkyBarrierCNTFET(reference_cntfet, tunneling_energy_ev=0.0)
+
+
+class TestTransmission:
+    def test_full_above_barrier(self, reference_cntfet):
+        device = SchottkyBarrierCNTFET(reference_cntfet, barrier_ev=0.1)
+        assert device.contact_transmission(0.2, band_edge_ev=0.0) == 1.0
+
+    def test_exponential_tail_below(self, reference_cntfet):
+        device = SchottkyBarrierCNTFET(
+            reference_cntfet, barrier_ev=0.1, tunneling_energy_ev=0.05
+        )
+        t1 = device.contact_transmission(0.05, band_edge_ev=0.0)
+        t2 = device.contact_transmission(0.0, band_edge_ev=0.0)
+        assert t1 / t2 == pytest.approx(np.exp(1.0), rel=1e-6)
+
+    def test_edge_reference_shifts_barrier(self, reference_cntfet):
+        device = SchottkyBarrierCNTFET(reference_cntfet, barrier_ev=0.1)
+        assert device.contact_transmission(0.2, band_edge_ev=0.15) < 1.0
+
+
+class TestInjectionLimiting:
+    def test_zero_barrier_reduces_to_intrinsic(self, reference_cntfet):
+        ohmic = SchottkyBarrierCNTFET(reference_cntfet, barrier_ev=0.0)
+        for vgs, vds in [(0.4, 0.3), (0.6, 0.5)]:
+            assert ohmic.current(vgs, vds) == pytest.approx(
+                reference_cntfet.current(vgs, vds), rel=0.02
+            )
+
+    def test_barrier_monotonically_suppresses(self, reference_cntfet):
+        currents = [
+            SchottkyBarrierCNTFET(reference_cntfet, barrier_ev=phi).current(0.6, 0.5)
+            for phi in (0.0, 0.1, 0.2, 0.28)
+        ]
+        assert all(a > b for a, b in zip(currents, currents[1:]))
+
+    def test_never_exceeds_intrinsic(self, reference_cntfet):
+        device = SchottkyBarrierCNTFET(reference_cntfet, barrier_ev=0.15)
+        for vgs in (0.2, 0.4, 0.6, 0.8):
+            assert device.current(vgs, 0.5) <= reference_cntfet.current(vgs, 0.5) * 1.001
+
+    def test_fraction_bounded(self, reference_cntfet):
+        device = SchottkyBarrierCNTFET(reference_cntfet, barrier_ev=0.2)
+        fraction = device.injection_limited_fraction(0.6, 0.5)
+        assert 0.0 < fraction < 1.0
+
+    def test_thicker_barrier_less_tunneling(self, reference_cntfet):
+        thin = SchottkyBarrierCNTFET(
+            reference_cntfet, barrier_ev=0.2, tunneling_energy_ev=0.1
+        )
+        thick = SchottkyBarrierCNTFET(
+            reference_cntfet, barrier_ev=0.2, tunneling_energy_ev=0.03
+        )
+        assert thick.current(0.6, 0.5) < thin.current(0.6, 0.5)
+
+    def test_explains_measured_franklin_gap(self, reference_cntfet):
+        # A ~0.2 eV barrier brings the ballistic bound down to the few-uA
+        # currents of the measured devices in Fig. 5 — the documented
+        # model-vs-measured deviation.
+        device = SchottkyBarrierCNTFET(reference_cntfet, barrier_ev=0.2)
+        current = device.current(0.6, 0.5)
+        assert 1e-6 < current < 10e-6
+
+    def test_negative_vds_antisymmetric(self, reference_cntfet):
+        device = SchottkyBarrierCNTFET(reference_cntfet, barrier_ev=0.1)
+        assert device.current(0.5, -0.3) == pytest.approx(
+            -device.current(0.8, 0.3), rel=1e-6
+        )

@@ -1,0 +1,46 @@
+"""Voltage-scaling experiment: the paper's central thesis."""
+
+import pytest
+
+from repro.experiments.scaling import run_voltage_scaling
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_voltage_scaling(supplies_v=(0.4, 0.5, 1.0))
+
+
+class TestVoltageScaling:
+    def test_cnt_logic_works_at_04v(self, result):
+        point = result.cnt[0]
+        assert point.vdd == 0.4
+        assert point.nm_fraction > 0.3
+        assert point.is_bistable
+
+    def test_iso_footprint_delay_advantage(self, result):
+        # A fabric at 8 nm pitch in the trigate's footprint drives the
+        # same load several times faster.
+        assert result.delay_advantage_at(0.4) > 3.0
+
+    def test_advantage_grows_at_low_voltage(self, result):
+        # "will enable further voltage ... scaling": the CNT advantage
+        # must not shrink as VDD comes down.
+        assert result.delay_advantage_at(0.4) >= result.delay_advantage_at(1.0)
+
+    def test_delays_increase_at_low_supply(self, result):
+        cnt_delays = [p.delay_s for p in result.cnt]
+        si_delays = [p.delay_s for p in result.silicon]
+        assert cnt_delays[0] > cnt_delays[-1]
+        assert si_delays[0] > si_delays[-1]
+
+    def test_min_logic_supply_reported(self, result):
+        assert result.minimum_logic_supply("cnt") <= 0.5
+
+    def test_tubes_per_footprint(self, result):
+        # 88 nm effective width at 8 nm pitch.
+        assert result.tubes_per_footprint == 11
+
+    def test_rows_printable(self, result):
+        rows = result.rows()
+        assert len(rows) > 10
+        assert all(isinstance(label, str) for label, *_ in rows)

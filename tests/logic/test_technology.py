@@ -1,0 +1,83 @@
+"""Technology mapping: device -> gate delay -> computer clock."""
+
+import pytest
+
+from repro.devices.cntfet import CNTFET
+from repro.devices.contacts import SeriesResistanceFET
+from repro.logic.gates import build_ripple_subtractor
+from repro.logic.technology import LogicTechnology, subneg_cycle_estimate
+
+
+@pytest.fixture(scope="module")
+def scaled_cnt_technology(reference_cntfet):
+    return LogicTechnology(
+        device=reference_cntfet,
+        load_capacitance_f=0.1e-15,
+        vdd=0.6,
+        name="scaled GAA CNT",
+    )
+
+
+class TestLogicTechnology:
+    def test_validation(self, reference_cntfet):
+        with pytest.raises(ValueError):
+            LogicTechnology(reference_cntfet, load_capacitance_f=0.0, vdd=1.0)
+        with pytest.raises(ValueError):
+            LogicTechnology(reference_cntfet, load_capacitance_f=1e-15, vdd=-1.0)
+
+    def test_inverter_delay_cv_over_i(self, scaled_cnt_technology, reference_cntfet):
+        expected = 0.1e-15 * 0.6 / reference_cntfet.current(0.6, 0.6)
+        assert scaled_cnt_technology.inverter_delay_s == pytest.approx(expected)
+
+    def test_heavier_load_slower(self, reference_cntfet):
+        light = LogicTechnology(reference_cntfet, 0.1e-15, 0.6)
+        heavy = LogicTechnology(reference_cntfet, 10e-15, 0.6)
+        assert heavy.inverter_delay_s > light.inverter_delay_s
+
+    def test_critical_path_scales_with_netlist(self, scaled_cnt_technology):
+        small = build_ripple_subtractor(4)
+        large = build_ripple_subtractor(16)
+        assert scaled_cnt_technology.critical_path_s(
+            large
+        ) > scaled_cnt_technology.critical_path_s(small)
+
+    def test_margin_validation(self, scaled_cnt_technology):
+        with pytest.raises(ValueError):
+            scaled_cnt_technology.max_clock_hz(build_ripple_subtractor(4), margin=0.5)
+
+    def test_energy_activity_validation(self, scaled_cnt_technology):
+        with pytest.raises(ValueError):
+            scaled_cnt_technology.energy_per_cycle_j(
+                build_ripple_subtractor(4), activity=0.0
+            )
+
+
+class TestSubnegCycle:
+    def test_scaled_cnt_reaches_ghz(self, scaled_cnt_technology):
+        estimate = subneg_cycle_estimate(scaled_cnt_technology, word_bits=8)
+        assert estimate.clock_hz > 1e9
+
+    def test_shulaker_era_lands_in_khz_regime(self, reference_cntfet):
+        # Back-gated CNFETs through ~100 kOhm effective contacts driving
+        # pF-scale pass-gate/wiring loads at 3 V: the 2013 CNT computer
+        # ran its demonstration at ~1 kHz.
+        legacy_device = SeriesResistanceFET(reference_cntfet, 50e3, 50e3)
+        legacy = LogicTechnology(
+            device=legacy_device,
+            load_capacitance_f=50e-12,
+            vdd=3.0,
+            name="2013 back-gated CNT",
+        )
+        estimate = subneg_cycle_estimate(legacy, word_bits=1)
+        assert 1e2 < estimate.clock_hz < 1e6
+
+    def test_wider_word_slower(self, scaled_cnt_technology):
+        narrow = subneg_cycle_estimate(scaled_cnt_technology, word_bits=4)
+        wide = subneg_cycle_estimate(scaled_cnt_technology, word_bits=16)
+        assert wide.clock_hz < narrow.clock_hz
+        assert wide.energy_per_cycle_j > narrow.energy_per_cycle_j
+
+    def test_estimate_fields_consistent(self, scaled_cnt_technology):
+        estimate = subneg_cycle_estimate(scaled_cnt_technology, word_bits=8, margin=2.0)
+        assert estimate.clock_hz == pytest.approx(1.0 / (2.0 * estimate.critical_path_s))
+        assert estimate.technology_name == "scaled GAA CNT"

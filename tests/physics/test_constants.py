@@ -1,0 +1,60 @@
+"""Constants: values, derived quantities, thermal helpers."""
+
+import math
+
+import pytest
+
+from repro.physics import constants
+
+
+class TestFundamentalValues:
+    def test_elementary_charge(self):
+        assert constants.Q == pytest.approx(1.602176634e-19)
+
+    def test_hbar_is_h_over_2pi(self):
+        assert constants.HBAR == pytest.approx(constants.H / (2 * math.pi))
+
+    def test_boltzmann_in_ev(self):
+        assert constants.KB_EV == pytest.approx(8.617e-5, rel=1e-3)
+
+
+class TestGrapheneParameters:
+    def test_lattice_constant_from_bond_length(self):
+        assert constants.A_LATTICE_NM == pytest.approx(0.246, rel=1e-2)
+
+    def test_fermi_velocity_near_1e6(self):
+        # v_F = 3 a_cc gamma0 / (2 hbar) ~ 9.7e5 m/s for gamma0 = 3 eV.
+        assert 9.0e5 < constants.VFERMI < 1.05e6
+
+    def test_quantum_resistance_values(self):
+        assert constants.R0_OHM == pytest.approx(12906, rel=1e-3)
+        assert constants.CNT_QUANTUM_RESISTANCE_OHM == pytest.approx(6453, rel=1e-3)
+
+    def test_conductance_quantum_consistency(self):
+        assert constants.G0 * constants.R0_OHM == pytest.approx(1.0)
+
+
+class TestThermalHelpers:
+    def test_thermal_voltage_at_300k(self):
+        assert constants.thermal_voltage(300.0) == pytest.approx(0.02585, rel=1e-3)
+
+    def test_thermal_voltage_scales_linearly(self):
+        assert constants.thermal_voltage(600.0) == pytest.approx(
+            2 * constants.thermal_voltage(300.0)
+        )
+
+    def test_thermal_voltage_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            constants.thermal_voltage(0.0)
+        with pytest.raises(ValueError):
+            constants.thermal_voltage(-10.0)
+
+    def test_subthreshold_limit_at_room_temperature(self):
+        # The famous ~60 mV/dec limit quoted in Section IV.
+        limit = constants.subthreshold_limit_mv_per_decade(300.0)
+        assert limit == pytest.approx(59.5, abs=0.5)
+
+    def test_subthreshold_limit_drops_when_cold(self):
+        assert constants.subthreshold_limit_mv_per_decade(
+            77.0
+        ) < constants.subthreshold_limit_mv_per_decade(300.0)

@@ -1,0 +1,47 @@
+"""Command-line interface: listing, dispatch, output format."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, main
+
+
+class TestListing:
+    def test_list_flag(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        for name in EXPERIMENTS:
+            assert name in out
+
+    def test_no_arguments_lists(self, capsys):
+        assert main([]) == 0
+        assert "fig1" in capsys.readouterr().out
+
+
+class TestDispatch:
+    def test_unknown_experiment_errors(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["fig99"])
+        assert excinfo.value.code != 0
+
+    def test_table1_prints_rows(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "table1" in out
+        assert "trigate" in out
+
+    def test_rf_prints_rows(self, capsys):
+        assert main(["rf"]) == 0
+        out = capsys.readouterr().out
+        assert "f_max" in out
+
+    def test_multiple_experiments(self, capsys):
+        assert main(["table1", "rf"]) == 0
+        out = capsys.readouterr().out
+        headers = [line for line in out.splitlines() if line.startswith("=== ")]
+        assert len(headers) == 2
+
+    def test_every_registered_runner_returns_rows(self):
+        # Cheap registry self-check: runners are callables with metadata.
+        for name, (description, runner) in EXPERIMENTS.items():
+            assert isinstance(description, str) and description
+            assert callable(runner)

@@ -1,0 +1,103 @@
+"""Cross-cutting invariants every device model must satisfy.
+
+These property-based tests run the same physical sanity checks over the
+whole device zoo: passivity at zero drain bias, current sign following
+the drain bias, monotonicity in gate drive, and the p-type mirror
+symmetry.  A new device model added to the package gets this safety net
+by being listed in the fixtures below.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.devices.base import PType
+from repro.devices.contacts import SeriesResistanceFET
+from repro.devices.empirical import AlphaPowerFET, NonSaturatingFET, TabulatedFET
+from repro.devices.fabric import CNTFabricFET
+from repro.devices.reference import inas_hemt_reference, trigate_intel_22nm
+
+
+def _device_zoo():
+    alpha = AlphaPowerFET()
+    return {
+        "alpha-power": alpha,
+        "non-saturating": NonSaturatingFET(),
+        "trigate": trigate_intel_22nm(),
+        "inas-hemt": inas_hemt_reference(),
+        "series-r": SeriesResistanceFET(alpha, 10e3, 10e3),
+        "tabulated": TabulatedFET.from_model(
+            alpha, np.linspace(-0.2, 1.2, 25), np.linspace(0.0, 1.2, 21)
+        ),
+        "fabric": CNTFabricFET([alpha] * 3, n_metallic=0),
+    }
+
+
+ZOO = _device_zoo()
+bias = st.tuples(st.floats(0.0, 1.2), st.floats(0.0, 1.2))
+
+
+@pytest.mark.parametrize("name", sorted(ZOO))
+class TestUniversalInvariants:
+    @given(vgs=st.floats(-0.5, 1.2))
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    def test_passive_at_zero_vds(self, name, vgs):
+        assert ZOO[name].current(vgs, 0.0) == pytest.approx(0.0, abs=1e-15)
+
+    @given(b=bias)
+    @settings(max_examples=20, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    def test_forward_current_nonnegative(self, name, b):
+        vgs, vds = b
+        assert ZOO[name].current(vgs, vds) >= -1e-18
+
+    @given(b=bias)
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    def test_monotone_nondecreasing_in_gate(self, name, b):
+        vgs, vds = b
+        device = ZOO[name]
+        assert device.current(vgs + 0.05, vds) >= device.current(vgs, vds) - 1e-15
+
+    @given(b=bias)
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    def test_monotone_nondecreasing_in_drain(self, name, b):
+        vgs, vds = b
+        device = ZOO[name]
+        assert device.current(vgs, vds + 0.05) >= device.current(vgs, vds) - 1e-15
+
+    @given(b=bias)
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    def test_ptype_mirror(self, name, b):
+        vgs, vds = b
+        device = ZOO[name]
+        mirrored = PType(device)
+        assert mirrored.current(-vgs, -vds) == pytest.approx(
+            -device.current(vgs, vds), rel=1e-9, abs=1e-18
+        )
+
+
+class TestBallisticDeviceInvariants:
+    """The physical devices are expensive; spot-check the same laws."""
+
+    @pytest.mark.parametrize("vgs,vds", [(0.0, 0.3), (0.4, 0.1), (0.6, 0.5)])
+    def test_cntfet_nonnegative_and_passive(self, reference_cntfet, vgs, vds):
+        assert reference_cntfet.current(vgs, vds) >= 0.0
+        assert reference_cntfet.current(vgs, 0.0) == pytest.approx(0.0, abs=1e-15)
+
+    def test_cntfet_gate_monotone(self, reference_cntfet):
+        sweep = [reference_cntfet.current(v, 0.5) for v in (0.1, 0.3, 0.5, 0.7)]
+        assert all(a < b for a, b in zip(sweep, sweep[1:]))
+
+    def test_gnrfet_drain_monotone(self, reference_gnrfet):
+        sweep = [reference_gnrfet.current(0.5, v) for v in (0.05, 0.2, 0.4, 0.6)]
+        assert all(a < b for a, b in zip(sweep, sweep[1:]))
+
+    def test_tfet_reverse_current_grows_with_gate_drive(self, reference_tfet):
+        magnitudes = [
+            abs(reference_tfet.current(vg, -0.5)) for vg in (-0.5, -1.0, -1.5, -2.0)
+        ]
+        assert all(a <= b + 1e-15 for a, b in zip(magnitudes, magnitudes[1:]))

@@ -1,0 +1,95 @@
+"""Mean free path and ballisticity models."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.physics.constants import CNT_QUANTUM_RESISTANCE_OHM
+from repro.transport.scattering import (
+    MeanFreePath,
+    OPTICAL_PHONON_ENERGY_EV,
+    ballisticity,
+    series_channel_resistance_ohm,
+)
+
+
+class TestMeanFreePath:
+    def test_reference_values(self):
+        mfp = MeanFreePath(diameter_nm=1.5, temperature_k=300.0)
+        assert mfp.acoustic_nm == pytest.approx(300.0)
+        assert mfp.optical_nm == pytest.approx(15.0)
+
+    def test_diameter_scaling(self):
+        thin = MeanFreePath(diameter_nm=0.75)
+        assert thin.acoustic_nm == pytest.approx(150.0)
+
+    def test_temperature_scaling_acoustic(self):
+        hot = MeanFreePath(temperature_k=600.0)
+        assert hot.acoustic_nm == pytest.approx(150.0)
+
+    def test_low_bias_acoustic_limited(self):
+        mfp = MeanFreePath()
+        assert mfp.effective_nm(bias_v=0.1) == pytest.approx(mfp.acoustic_nm)
+
+    def test_high_bias_optical_dominates(self):
+        mfp = MeanFreePath()
+        high = mfp.effective_nm(bias_v=0.5)
+        assert high < mfp.optical_nm  # Matthiessen combination
+        assert high == pytest.approx(
+            1.0 / (1.0 / 300.0 + 1.0 / 15.0), rel=1e-6
+        )
+
+    def test_threshold_is_optical_phonon_energy(self):
+        mfp = MeanFreePath()
+        below = mfp.effective_nm(OPTICAL_PHONON_ENERGY_EV - 1e-3)
+        above = mfp.effective_nm(OPTICAL_PHONON_ENERGY_EV)
+        assert below > above
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MeanFreePath(diameter_nm=0.0)
+        with pytest.raises(ValueError):
+            MeanFreePath(temperature_k=-5.0)
+
+
+class TestBallisticity:
+    def test_zero_length_fully_ballistic(self):
+        assert ballisticity(0.0, 300.0) == 1.0
+
+    def test_length_equal_mfp_gives_half(self):
+        assert ballisticity(300.0, 300.0) == pytest.approx(0.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ballisticity(-1.0, 300.0)
+        with pytest.raises(ValueError):
+            ballisticity(10.0, 0.0)
+
+    @given(st.floats(0.0, 1e4), st.floats(1.0, 1e3))
+    def test_bounded_unit_interval(self, length, mfp):
+        t = ballisticity(length, mfp)
+        assert 0.0 < t <= 1.0
+
+    @given(st.floats(1.0, 1e3))
+    def test_monotone_decreasing_in_length(self, mfp):
+        assert ballisticity(10.0, mfp) > ballisticity(100.0, mfp)
+
+
+class TestLengthScalingResistance:
+    def test_short_channel_floor_is_quantum_limit(self):
+        r = series_channel_resistance_ohm(0.0, 300.0, CNT_QUANTUM_RESISTANCE_OHM)
+        assert r == pytest.approx(CNT_QUANTUM_RESISTANCE_OHM)
+
+    def test_linear_growth_with_length(self):
+        r_q = CNT_QUANTUM_RESISTANCE_OHM
+        r300 = series_channel_resistance_ohm(300.0, 300.0, r_q)
+        assert r300 == pytest.approx(2 * r_q)
+
+    def test_franklin_chen_11k_scale(self):
+        # Ref. [16]: ~11 kOhm total series resistance for short devices
+        # including imperfect contacts (~quantum floor + extras).
+        r = series_channel_resistance_ohm(20.0, 300.0, 10.5e3)
+        assert 10e3 < r < 13e3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            series_channel_resistance_ohm(10.0, 300.0, 0.0)
