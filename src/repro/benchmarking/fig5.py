@@ -20,6 +20,7 @@ from repro.benchmarking.datasets import (
     TechnologySeries,
     VDS_BENCHMARK_V,
 )
+from repro.devices.base import transfer_curve
 from repro.devices.cntfet import CNTFET
 from repro.devices.contacts import ContactModel, SeriesResistanceFET
 from repro.physics.cnt import chirality_for_gap
@@ -80,7 +81,7 @@ def cnt_model_ion_density(
     ioff_device_a = IOFF_TARGET_A_PER_UM * diameter_um
 
     vgs = np.linspace(-0.1, 1.2, 105)
-    currents = np.array([device.current(float(v), VDS_BENCHMARK_V) for v in vgs])
+    currents = transfer_curve(device, vgs, VDS_BENCHMARK_V)
     ion_device_a = ion_at_fixed_ioff(vgs, currents, supply_window_v, ioff_device_a)
     ion_ua_per_um = ion_device_a * 1e6 / diameter_um
     return ModelPoint(

@@ -4,6 +4,20 @@ Built from scratch as the substrate for the paper's Fig. 2 inverter
 study: netlist construction (:class:`Circuit`), DC operating point and
 swept DC with continuation, trapezoidal/backward-Euler transient, and
 standard-cell builders for inverters and ring oscillators.
+
+Assembly architecture (see :mod:`repro.circuit.assembly`): at
+``build_system()`` time the netlist is compiled into a stamp plan that
+splits elements into a *linear* group (R, C companion models, V/I
+sources) — collapsed into one constant matrix per ``(dt, integrator)``
+key — and a *nonlinear* FET group linearized per Newton iteration
+through batched :meth:`repro.devices.base.FETModel.linearize` calls (one
+per device-model instance) and scattered with precomputed index arrays.
+Systems below :data:`~repro.circuit.assembly.SPARSE_THRESHOLD` (128)
+unknowns reuse preallocated dense buffers; larger systems assemble
+``scipy.sparse`` CSR Jacobians solved by sparse LU.  The original
+element-walking evaluator survives as ``MNASystem.evaluate_dense`` — the
+reference the equivalence test suite holds the compiled path to (1e-12)
+and the fallback for user-defined element types.
 """
 
 from repro.circuit.ac import ACResult, ac_analysis

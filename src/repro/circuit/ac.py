@@ -71,6 +71,13 @@ def ac_analysis(
     system = circuit.build_system()
     x_dc = solve_dc(system)
     _, conductance = system.evaluate(x_dc)
+    # Detach from the evaluator's reused buffer; densify CSR Jacobians of
+    # large systems (the per-frequency solves below are dense-complex).
+    conductance = (
+        conductance.toarray()
+        if hasattr(conductance, "toarray")
+        else np.array(conductance)
+    )
 
     size = system.size
     capacitance = np.zeros((size, size))

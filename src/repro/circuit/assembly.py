@@ -1,0 +1,455 @@
+"""Compiled stamp-plan assembly engine for MNA systems.
+
+The reference evaluator (:meth:`repro.circuit.netlist.MNASystem.evaluate_dense`)
+walks every element per Newton iteration and stamps scalars through
+:class:`~repro.circuit.elements.StampContext` — simple, but all-Python
+and re-allocating a dense ``n x n`` Jacobian on every call.  This module
+compiles a :class:`StampPlan` once per :meth:`Circuit.build_system`:
+
+* **Linear elements** (R, V-source patterns, capacitor companion
+  conductances) collapse into one constant matrix ``A`` assembled a
+  single time and cached per ``(dt, integrator)`` key, so the linear
+  residual is a matrix-vector product ``A @ x`` and the linear Jacobian
+  block is a buffer copy.
+* **Right-hand-side terms** (source waveform levels, capacitor history)
+  are gathered through precomputed index arrays each call.
+* **Nonlinear FETs** are grouped by device-model instance and
+  linearized in one batched :meth:`repro.devices.base.FETModel.linearize`
+  call per group (arrays of ``vgs``/``vds`` in, arrays of
+  ``(id, gm, gds)`` out), then scattered into the residual/Jacobian with
+  ``np.add.at`` through index arrays laid out at compile time.
+* Systems with ``size >= SPARSE_THRESHOLD`` assemble ``scipy.sparse``
+  CSR matrices (solved with a sparse LU in the Newton solver); smaller
+  systems — all the seed circuits — reuse preallocated dense buffers.
+
+The compiled path is numerically equivalent to the reference path (same
+stamps, same finite-difference linearization arithmetic); the test suite
+asserts residual/Jacobian agreement to 1e-12 on representative circuits.
+
+Buffer-reuse contract: in dense mode :meth:`StampPlan.evaluate` returns
+views of preallocated buffers that are overwritten by the next call —
+copy them if you need to keep results across evaluations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import sparse
+
+from repro.circuit.elements import (
+    FET,
+    Capacitor,
+    CurrentSource,
+    Resistor,
+    VoltageSource,
+)
+from repro.devices.base import PType
+
+__all__ = ["StampPlan", "UnsupportedElement", "SPARSE_THRESHOLD"]
+
+# Unknown-count at which assembly (and the Newton solve) switch from
+# preallocated dense buffers to scipy.sparse CSR matrices.
+SPARSE_THRESHOLD = 128
+
+_COMPILED_TYPES = (Resistor, Capacitor, VoltageSource, CurrentSource, FET)
+
+
+class UnsupportedElement(TypeError):
+    """Raised when a circuit contains element types the plan cannot compile."""
+
+
+def _unwrap_polarity(device) -> tuple[object, float]:
+    """Strip :class:`PType` mirror wrappers into (base model, sign).
+
+    I_p(v) = -I_n(-v) means a p-FET's bias points can ride in the same
+    batched ``linearize`` call as its n-type siblings: flip the biases
+    on the way in and the current on the way out (conductances are
+    even under the mirror), so one complementary pair costs one device
+    call instead of two.
+    """
+    sign = 1.0
+    while type(device) is PType:
+        sign = -sign
+        device = device.nfet
+    return device, sign
+
+
+class _FETGroup:
+    """All FETs sharing one (polarity-unwrapped) device-model instance.
+
+    ``gather_*`` index the padded voltage vector (ground at index
+    ``size``); ``rows``/``cols``/``take`` address the 6-entry-per-FET
+    Jacobian stamp pattern with ground rows/columns masked out.
+    """
+
+    __slots__ = (
+        "device", "delta_v", "count", "sign",
+        "gather_dgs", "scatter_idx", "flat",
+        "rows", "cols", "take", "_vals6", "_vals", "_scatter_vals",
+    )
+
+    def __init__(self, device, delta_v: float, fets: list, pad, jac_idx, size: int):
+        self.device = device
+        self.delta_v = delta_v
+        self.count = len(fets)
+        signs = np.array([_unwrap_polarity(f.device)[1] for f in fets])
+        self.sign = None if np.all(signs == 1.0) else signs
+        gather_d = np.array([pad(f.drain) for f in fets], dtype=np.intp)
+        gather_g = np.array([pad(f.gate) for f in fets], dtype=np.intp)
+        gather_s = np.array([pad(f.source) for f in fets], dtype=np.intp)
+        self.gather_dgs = np.stack((gather_d, gather_g, gather_s))
+        self.scatter_idx = np.concatenate((gather_d, gather_s))
+        jd = np.array([jac_idx(f.drain) for f in fets], dtype=np.intp)
+        jg = np.array([jac_idx(f.gate) for f in fets], dtype=np.intp)
+        js = np.array([jac_idx(f.source) for f in fets], dtype=np.intp)
+        # Entry order matches the per-call value stack in evaluate():
+        # (d,d)=gds (d,g)=gm (d,s)=-(gm+gds) (s,d)=-gds (s,g)=-gm (s,s)=gm+gds
+        rows6 = np.stack((jd, jd, jd, js, js, js))
+        cols6 = np.stack((jd, jg, js, jd, jg, js))
+        valid = ((rows6 >= 0) & (cols6 >= 0)).ravel()
+        self.take = np.nonzero(valid)[0]
+        self.rows = rows6.ravel()[self.take]
+        self.cols = cols6.ravel()[self.take]
+        self.flat = self.rows * size + self.cols
+        self._vals6 = np.empty((6, self.count))
+        self._vals = np.empty(self.take.size)
+        self._scatter_vals = np.empty(2 * self.count)
+
+    def linearize(self, xpad: np.ndarray):
+        """Batched device linearization at the padded iterate ``xpad``."""
+        v_dgs = xpad[self.gather_dgs]
+        vs = v_dgs[2]
+        vgs = v_dgs[1] - vs
+        vds = v_dgs[0] - vs
+        if self.sign is None:
+            return self.device.linearize(vgs, vds, self.delta_v)
+        current, gm, gds = self.device.linearize(
+            self.sign * vgs, self.sign * vds, self.delta_v
+        )
+        return self.sign * current, gm, gds
+
+    def residual_values(self, current: np.ndarray) -> np.ndarray:
+        """Stack ``[+I, -I]`` matching ``scatter_idx`` (drains then sources)."""
+        vals = self._scatter_vals
+        vals[: self.count] = current
+        np.negative(current, out=vals[self.count :])
+        return vals
+
+    def jacobian_values(self, gm: np.ndarray, gds: np.ndarray) -> np.ndarray:
+        vals6 = self._vals6
+        vals6[0] = gds
+        vals6[1] = gm
+        np.add(gm, gds, out=vals6[5])
+        np.negative(vals6[5], out=vals6[2])
+        np.negative(gds, out=vals6[3])
+        np.negative(gm, out=vals6[4])
+        return np.take(vals6.ravel(), self.take, out=self._vals)
+
+
+class _LinearSystem:
+    """Cached constant linear part for one ``(dt, integrator)`` key."""
+
+    __slots__ = ("matrix", "cap_geq")
+
+    def __init__(self, matrix, cap_geq):
+        self.matrix = matrix
+        self.cap_geq = cap_geq
+
+
+class StampPlan:
+    """Precompiled assembly schedule for one :class:`MNASystem`."""
+
+    def __init__(self, system):
+        circuit = system.circuit
+        for element in circuit.elements:
+            if type(element) not in _COMPILED_TYPES:
+                raise UnsupportedElement(
+                    f"cannot compile element type {type(element).__name__}"
+                )
+        self.system = system
+        self.size = system.size
+        self.n_nodes = system.n_nodes
+        self.use_sparse = self.size >= SPARSE_THRESHOLD
+
+        size = self.size
+
+        def pad(node: str) -> int:
+            """Padded-vector index: ground maps to the trailing slot."""
+            idx = system.node_index(node)
+            return size if idx is None else idx
+
+        def jac_idx(node: str) -> int:
+            """Jacobian index: ground maps to -1 (entry dropped)."""
+            idx = system.node_index(node)
+            return -1 if idx is None else idx
+
+        # -- constant (bias-independent) matrix entries --------------------------
+        rows: list[int] = []
+        cols: list[int] = []
+        vals: list[float] = []
+
+        def put(row: int, col: int, value: float) -> None:
+            if row >= 0 and col >= 0:
+                rows.append(row)
+                cols.append(col)
+                vals.append(value)
+
+        # -- capacitor companion pattern: value = sign * geq[cap] ---------------
+        cap_rows: list[int] = []
+        cap_cols: list[int] = []
+        cap_sign: list[float] = []
+        cap_which: list[int] = []
+
+        def put_cap(row: int, col: int, sign: float, which: int) -> None:
+            if row >= 0 and col >= 0:
+                cap_rows.append(row)
+                cap_cols.append(col)
+                cap_sign.append(sign)
+                cap_which.append(which)
+
+        vsources: list[VoltageSource] = []
+        isources: list[CurrentSource] = []
+        capacitors: list[Capacitor] = []
+        fet_bins: dict[tuple[int, float], list[FET]] = {}
+        fet_devices: dict[tuple[int, float], object] = {}
+
+        for element in circuit.elements:
+            if isinstance(element, Resistor):
+                g = 1.0 / element.resistance_ohm
+                ip, in_ = jac_idx(element.p), jac_idx(element.n)
+                put(ip, ip, g)
+                put(ip, in_, -g)
+                put(in_, ip, -g)
+                put(in_, in_, g)
+            elif isinstance(element, VoltageSource):
+                ip, in_ = jac_idx(element.p), jac_idx(element.n)
+                br = element.branch_index
+                put(ip, br, 1.0)
+                put(in_, br, -1.0)
+                put(br, ip, 1.0)
+                put(br, in_, -1.0)
+                vsources.append(element)
+            elif isinstance(element, CurrentSource):
+                isources.append(element)
+            elif isinstance(element, Capacitor):
+                which = len(capacitors)
+                ip, in_ = jac_idx(element.p), jac_idx(element.n)
+                put_cap(ip, ip, 1.0, which)
+                put_cap(ip, in_, -1.0, which)
+                put_cap(in_, ip, -1.0, which)
+                put_cap(in_, in_, 1.0, which)
+                capacitors.append(element)
+            else:  # FET
+                base_device, _ = _unwrap_polarity(element.device)
+                key = (id(base_device), element.delta_v)
+                fet_bins.setdefault(key, []).append(element)
+                fet_devices[key] = base_device
+
+        self._static_rows = np.array(rows, dtype=np.intp)
+        self._static_cols = np.array(cols, dtype=np.intp)
+        self._static_vals = np.array(vals, dtype=float)
+
+        self._cap_rows = np.array(cap_rows, dtype=np.intp)
+        self._cap_cols = np.array(cap_cols, dtype=np.intp)
+        self._cap_sign = np.array(cap_sign, dtype=float)
+        self._cap_which = np.array(cap_which, dtype=np.intp)
+
+        self.vsources = vsources
+        self.vsrc_branch = np.array(
+            [el.branch_index for el in vsources], dtype=np.intp
+        )
+        self.isources = isources
+        self.isrc_p = np.array([pad(el.p) for el in isources], dtype=np.intp)
+        self.isrc_n = np.array([pad(el.n) for el in isources], dtype=np.intp)
+
+        self.capacitors = capacitors
+        self.cap_names = [el.name for el in capacitors]
+        self.cap_p = np.array([pad(el.p) for el in capacitors], dtype=np.intp)
+        self.cap_n = np.array([pad(el.n) for el in capacitors], dtype=np.intp)
+        self.cap_c = np.array([el.capacitance_f for el in capacitors], dtype=float)
+        self.cap_scatter = np.concatenate((self.cap_p, self.cap_n))
+        self._cap_vals = np.empty(2 * len(capacitors))
+
+        self.fet_groups = [
+            _FETGroup(fet_devices[key], key[1], fets, pad, jac_idx, size)
+            for key, fets in fet_bins.items()
+        ]
+
+        # -- per-call buffers ---------------------------------------------------
+        self._xpad = np.zeros(size + 1)
+        self._prevpad = np.zeros(size + 1)
+        self._rpad = np.zeros(size + 1)
+        if self.use_sparse:
+            self._jac = self._jac_flat = None
+        else:
+            self._jac = np.zeros((size, size))
+            self._jac_flat = self._jac.ravel()
+        self._lin_cache: dict[object, _LinearSystem] = {}
+
+        if self.use_sparse:
+            # Concatenated nonlinear COO pattern across all groups.
+            if self.fet_groups:
+                self._nl_rows = np.concatenate([g.rows for g in self.fet_groups])
+                self._nl_cols = np.concatenate([g.cols for g in self.fet_groups])
+            else:
+                self._nl_rows = np.zeros(0, dtype=np.intp)
+                self._nl_cols = np.zeros(0, dtype=np.intp)
+            self._nl_vals = np.zeros(self._nl_rows.size)
+            offsets = np.cumsum([0] + [g.rows.size for g in self.fet_groups])
+            self._nl_slices = [
+                slice(offsets[i], offsets[i + 1])
+                for i in range(len(self.fet_groups))
+            ]
+            node_diag = np.zeros(size)
+            node_diag[: self.n_nodes] = 1.0
+            self._node_eye = sparse.diags(node_diag, format="csr")
+
+    # -- linear subsystem cache ---------------------------------------------------
+    def _linear_system(self, dt_s: float | None, integrator: str) -> _LinearSystem:
+        if dt_s is None:
+            key: object = None
+        else:
+            method = "backward-euler" if integrator == "backward-euler" else "trapezoidal"
+            key = (float(dt_s), method)
+        cached = self._lin_cache.get(key)
+        if cached is not None:
+            return cached
+
+        if dt_s is None:
+            cap_geq = np.zeros(0)
+            rows, cols, vals = self._static_rows, self._static_cols, self._static_vals
+        else:
+            if integrator == "backward-euler":
+                cap_geq = self.cap_c / dt_s
+            else:
+                cap_geq = 2.0 * self.cap_c / dt_s
+            rows = np.concatenate((self._static_rows, self._cap_rows))
+            cols = np.concatenate((self._static_cols, self._cap_cols))
+            vals = np.concatenate(
+                (self._static_vals, self._cap_sign * cap_geq[self._cap_which])
+            )
+
+        if self.use_sparse:
+            matrix = sparse.coo_matrix(
+                (vals, (rows, cols)), shape=(self.size, self.size)
+            ).tocsr()
+        else:
+            matrix = np.zeros((self.size, self.size))
+            np.add.at(matrix, (rows, cols), vals)
+        linear = _LinearSystem(matrix, cap_geq)
+        self._lin_cache[key] = linear
+        return linear
+
+    # -- evaluation ---------------------------------------------------------------
+    def evaluate(
+        self,
+        x: np.ndarray,
+        time_s: float | None = None,
+        dt_s: float | None = None,
+        previous_x: np.ndarray | None = None,
+        integrator: str = "trapezoidal",
+        state: dict | None = None,
+        source_scale: float = 1.0,
+        gmin: float = 0.0,
+    ):
+        """Residual F(x) and Jacobian dF/dx via the compiled plan.
+
+        Dense mode returns views of reused buffers; sparse mode returns a
+        fresh ``scipy.sparse`` CSR Jacobian and a reused residual view.
+        """
+        size = self.size
+        xpad = self._xpad
+        xpad[:size] = x
+        linear = self._linear_system(dt_s, integrator)
+
+        rpad = self._rpad
+        rpad[:] = 0.0
+        residual = rpad[:size]
+        residual += linear.matrix @ x
+
+        if self.vsrc_branch.size:
+            levels = np.array([el.level(time_s) for el in self.vsources])
+            residual[self.vsrc_branch] -= source_scale * levels
+        if self.isrc_p.size:
+            currents = source_scale * np.array(
+                [el.level(time_s) for el in self.isources]
+            )
+            np.add.at(rpad, self.isrc_p, currents)
+            np.add.at(rpad, self.isrc_n, -currents)
+
+        if dt_s is not None and self.cap_c.size:
+            prevpad = self._prevpad
+            prevpad[:size] = x if previous_x is None else previous_x
+            v_prev = prevpad[self.cap_p] - prevpad[self.cap_n]
+            rhs = -linear.cap_geq * v_prev
+            if integrator != "backward-euler":
+                if state:
+                    rhs = rhs - np.array(
+                        [state.get(name, 0.0) for name in self.cap_names]
+                    )
+            cap_vals = self._cap_vals
+            cap_vals[: rhs.size] = rhs
+            np.negative(rhs, out=cap_vals[rhs.size :])
+            np.add.at(rpad, self.cap_scatter, cap_vals)
+
+        if self.use_sparse:
+            jacobian = self._evaluate_fets_sparse(xpad, rpad, linear)
+            if gmin > 0.0:
+                jacobian = jacobian + gmin * self._node_eye
+        else:
+            jacobian = self._jac
+            np.copyto(jacobian, linear.matrix)
+            jac_flat = self._jac_flat
+            for group in self.fet_groups:
+                current, gm, gds = group.linearize(xpad)
+                np.add.at(rpad, group.scatter_idx, group.residual_values(current))
+                np.add.at(jac_flat, group.flat, group.jacobian_values(gm, gds))
+            if gmin > 0.0:
+                diag = np.einsum("ii->i", jacobian)
+                diag[: self.n_nodes] += gmin
+
+        if gmin > 0.0:
+            residual[: self.n_nodes] += gmin * x[: self.n_nodes]
+        return residual, jacobian
+
+    def _evaluate_fets_sparse(self, xpad, rpad, linear):
+        nl_vals = self._nl_vals
+        for group, chunk in zip(self.fet_groups, self._nl_slices):
+            current, gm, gds = group.linearize(xpad)
+            np.add.at(rpad, group.scatter_idx, group.residual_values(current))
+            nl_vals[chunk] = group.jacobian_values(gm, gds)
+        if nl_vals.size:
+            nonlinear = sparse.coo_matrix(
+                (nl_vals, (self._nl_rows, self._nl_cols)),
+                shape=(self.size, self.size),
+            ).tocsr()
+            return linear.matrix + nonlinear
+        return linear.matrix.copy()
+
+    # -- transient support ----------------------------------------------------------
+    def update_capacitor_state(
+        self,
+        x: np.ndarray,
+        previous_x: np.ndarray,
+        dt_s: float,
+        integrator: str,
+        state: dict,
+    ) -> None:
+        """Vectorised trapezoidal/backward-Euler history update (in place)."""
+        if not self.cap_c.size:
+            return
+        size = self.size
+        xpad = self._xpad
+        xpad[:size] = x
+        prevpad = self._prevpad
+        prevpad[:size] = previous_x
+        v_now = xpad[self.cap_p] - xpad[self.cap_n]
+        v_prev = prevpad[self.cap_p] - prevpad[self.cap_n]
+        if integrator == "backward-euler":
+            i_new = self.cap_c / dt_s * (v_now - v_prev)
+        else:
+            geq = 2.0 * self.cap_c / dt_s
+            i_prev = np.array([state.get(name, 0.0) for name in self.cap_names])
+            i_new = geq * (v_now - v_prev) - i_prev
+        for name, value in zip(self.cap_names, i_new):
+            state[name] = float(value)

@@ -3,7 +3,10 @@
 ``dc_sweep`` re-solves the operating point while stepping one voltage
 source through a list of values, seeding each solve with the previous
 solution (continuation) so sharp transfer-curve transitions — like the
-near-ideal inverter of the paper's Fig. 2(c) — track robustly.
+near-ideal inverter of the paper's Fig. 2(c) — track robustly.  The
+system is built (and its stamp plan compiled) once for the whole sweep;
+only source waveform levels change between points, which the compiled
+evaluator re-reads on every call.
 """
 
 from __future__ import annotations

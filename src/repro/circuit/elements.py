@@ -4,8 +4,10 @@ The solver works on the residual formulation of modified nodal analysis:
 the unknown vector stacks node voltages (ground excluded) and the branch
 currents of voltage sources; each element adds its terminal currents to
 the KCL residual and its derivatives to the Jacobian.  Nonlinear FETs
-linearise themselves by central differences on their device model —
-adequate for the smooth compact models in :mod:`repro.devices`.
+linearise through :meth:`repro.devices.base.FETModel.linearize` (central
+differences by default) — the same small-signal API the compiled stamp
+plan of :mod:`repro.circuit.assembly` calls in batched form, so this
+scalar reference path and the compiled path share their arithmetic.
 """
 
 from __future__ import annotations
@@ -247,11 +249,8 @@ class FET(Element):
         vd = ctx.voltage(self.drain)
         vg = ctx.voltage(self.gate)
         vs = ctx.voltage(self.source)
-        vgs, vds = vg - vs, vd - vs
-        current = self.device.current(vgs, vds)
-        dv = self.delta_v
-        gm = (self.device.current(vgs + dv, vds) - self.device.current(vgs - dv, vds)) / (2 * dv)
-        gds = (self.device.current(vgs, vds + dv) - self.device.current(vgs, vds - dv)) / (2 * dv)
+        current, gm, gds = self.device.linearize(vg - vs, vd - vs, self.delta_v)
+        current, gm, gds = float(current), float(gm), float(gds)
 
         ctx.add_current(self.drain, current)
         ctx.add_current(self.source, -current)

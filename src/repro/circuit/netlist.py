@@ -5,12 +5,22 @@ assigns every non-ground node an index in the unknown vector and every
 voltage source a branch-current index after the nodes.  Analyses
 (:mod:`repro.circuit.dc`, :mod:`repro.circuit.transient`) consume the
 assembled system through :meth:`Circuit.build_system`.
+
+:meth:`MNASystem.evaluate` runs on the compiled stamp plan of
+:mod:`repro.circuit.assembly` (constant linear matrix assembled once,
+batched FET linearization, ``np.add.at`` scatter, sparse CSR above
+:data:`~repro.circuit.assembly.SPARSE_THRESHOLD` unknowns).  The original
+element-walking evaluator is retained as :meth:`MNASystem.evaluate_dense`
+— the reference implementation the equivalence tests compare against,
+and the fallback for circuits containing element types the plan cannot
+compile.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.circuit.assembly import StampPlan, UnsupportedElement
 from repro.circuit.elements import (
     FET,
     Capacitor,
@@ -111,17 +121,45 @@ class Circuit:
 
 
 class MNASystem:
-    """Assembled residual/Jacobian evaluator for a circuit."""
+    """Assembled residual/Jacobian evaluator for a circuit.
+
+    Evaluation runs through a :class:`~repro.circuit.assembly.StampPlan`
+    compiled at construction; circuits containing element types the plan
+    does not know fall back to the reference evaluator.  In the compiled
+    dense mode, :meth:`evaluate` returns views of buffers reused by the
+    next call — copy them if results must outlive the next evaluation.
+    """
 
     def __init__(self, circuit: Circuit):
         self.circuit = circuit
         self.size = circuit.size
         self.n_nodes = len(circuit.node_names)
+        try:
+            self._plan: StampPlan | None = StampPlan(self)
+        except UnsupportedElement:
+            self._plan = None
+        if self._plan is not None:
+            # Shadow the dispatching method with the plan's bound evaluator:
+            # one less Python frame on the hottest call in the package.
+            self.evaluate = self._plan.evaluate
 
     def node_index(self, node: str) -> int | None:
         return self.circuit.node_index(node)
 
-    def evaluate(
+    def evaluate(self, x: np.ndarray, **kwargs) -> tuple[np.ndarray, np.ndarray]:
+        """Residual F(x) and Jacobian dF/dx at the iterate ``x``.
+
+        Accepts the keyword arguments of :meth:`evaluate_dense`.  On
+        instances whose circuit compiled, ``__init__`` rebinds this name
+        to :meth:`StampPlan.evaluate` (same signature), whose Jacobian is
+        a dense ndarray for small systems and a ``scipy.sparse`` CSR
+        matrix at or above
+        :data:`~repro.circuit.assembly.SPARSE_THRESHOLD` unknowns; this
+        body only runs for circuits the plan cannot compile.
+        """
+        return self.evaluate_dense(x, **kwargs)
+
+    def evaluate_dense(
         self,
         x: np.ndarray,
         time_s: float | None = None,
@@ -132,7 +170,7 @@ class MNASystem:
         source_scale: float = 1.0,
         gmin: float = 0.0,
     ) -> tuple[np.ndarray, np.ndarray]:
-        """Residual F(x) and Jacobian dF/dx at the iterate ``x``."""
+        """Reference element-walking evaluator (always fresh dense arrays)."""
         residual = np.zeros(self.size)
         jacobian = np.zeros((self.size, self.size))
         ctx = StampContext(
@@ -155,6 +193,32 @@ class MNASystem:
                 residual[i] += gmin * x[i]
                 jacobian[i, i] += gmin
         return residual, jacobian
+
+    def update_capacitor_state(
+        self,
+        x: np.ndarray,
+        previous_x: np.ndarray,
+        dt_s: float,
+        integrator: str,
+        state: dict,
+    ) -> None:
+        """Refresh capacitor history currents at an accepted solution."""
+        if self._plan is not None:
+            self._plan.update_capacitor_state(x, previous_x, dt_s, integrator, state)
+            return
+        ctx = StampContext(
+            system=self,
+            x=x,
+            residual=None,
+            jacobian=None,
+            dt_s=dt_s,
+            previous_x=previous_x,
+            integrator=integrator,
+            state=state,
+        )
+        for element in self.circuit.elements:
+            if isinstance(element, Capacitor):
+                state[element.name] = element.update_state(ctx)
 
     def voltage_of(self, x: np.ndarray, node: str) -> float:
         idx = self.node_index(node)

@@ -10,11 +10,19 @@ Newton fails from a cold start:
 
 These make the DC operating point of strongly nonlinear FET circuits
 (e.g. an inverter chain biased mid-transition) reliably solvable.
+
+Linear algebra adapts to what the compiled stamp plan hands back: small
+systems solve dense with an in-place diagonal regularization (no
+per-iteration ``np.eye`` allocation), large systems arrive as
+``scipy.sparse`` CSR matrices and go through a sparse LU.
 """
 
 from __future__ import annotations
 
 import numpy as np
+from scipy import sparse
+from scipy.linalg.lapack import dgesv
+from scipy.sparse.linalg import splu
 
 from repro.circuit.netlist import CircuitError, MNASystem
 
@@ -23,6 +31,29 @@ __all__ = ["newton_solve", "solve_dc"]
 _MAX_ITERATIONS = 120
 _RESIDUAL_TOL = 1e-10
 _STEP_TOL = 1e-10
+_DIAG_REGULARIZATION = 1e-14
+
+
+def _newton_step(jacobian, residual, reg_identity) -> np.ndarray | None:
+    """Solve J step = -residual with a tiny diagonal regularization.
+
+    Dense Jacobians get the regularization added to their diagonal in
+    place — safe because the evaluation buffer is fully reassembled by
+    the next ``evaluate`` call — avoiding the per-iteration ``np.eye``
+    allocation of the original implementation.  Sparse Jacobians go
+    through a sparse LU.  Returns None on a singular matrix.
+    """
+    if sparse.issparse(jacobian):
+        try:
+            return splu((jacobian + reg_identity).tocsc()).solve(-residual)
+        except RuntimeError:
+            return None
+    diagonal = np.einsum("ii->i", jacobian)
+    diagonal += _DIAG_REGULARIZATION
+    # Same LAPACK dgesv as np.linalg.solve, minus the wrapper overhead;
+    # -residual is a fresh temporary, so LAPACK may solve into it.
+    _, _, step, info = dgesv(jacobian, -residual, overwrite_b=True)
+    return step if info == 0 else None
 
 
 def newton_solve(
@@ -38,14 +69,16 @@ def newton_solve(
         x, source_scale=source_scale, gmin=gmin, **eval_kwargs
     )
     norm = float(np.max(np.abs(residual)))
+    reg_identity = (
+        _DIAG_REGULARIZATION * sparse.identity(system.size, format="csr")
+        if sparse.issparse(jacobian)
+        else None
+    )
     for _ in range(_MAX_ITERATIONS):
         if norm < _RESIDUAL_TOL:
             return x, True
-        try:
-            step = np.linalg.solve(
-                jacobian + 1e-14 * np.eye(system.size), -residual
-            )
-        except np.linalg.LinAlgError:
+        step = _newton_step(jacobian, residual, reg_identity)
+        if step is None:
             return x, False
         # Backtracking line search on the residual norm.
         damping = 1.0

@@ -13,7 +13,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.circuit.elements import Capacitor, VoltageSource
+from repro.circuit.elements import VoltageSource
 from repro.circuit.netlist import Circuit, CircuitError
 from repro.circuit.solver import newton_solve, solve_dc
 
@@ -48,8 +48,14 @@ def transient(
     t_stop_s: float,
     dt_s: float,
     integrator: str = "trapezoidal",
+    x0: np.ndarray | None = None,
 ) -> TransientResult:
-    """Integrate the circuit from its t=0 operating point to ``t_stop_s``."""
+    """Integrate the circuit from its t=0 operating point to ``t_stop_s``.
+
+    ``x0`` optionally seeds the initial DC solve — useful for circuits
+    (long inverter chains, latches) whose operating point the cold-start
+    homotopies cannot reach but a structural guess can.
+    """
     if t_stop_s <= 0.0 or dt_s <= 0.0:
         raise CircuitError("t_stop and dt must be positive")
     if dt_s > t_stop_s:
@@ -58,15 +64,14 @@ def transient(
         raise CircuitError(f"unknown integrator {integrator!r}; use {_INTEGRATORS}")
 
     system = circuit.build_system()
-    x = solve_dc(system, None, time_s=0.0)
-    capacitors = [el for el in circuit.elements if isinstance(el, Capacitor)]
+    x = solve_dc(system, x0, time_s=0.0)
     sources = [el for el in circuit.elements if isinstance(el, VoltageSource)]
 
-    times = [0.0]
-    samples = [np.array(x)]
-    state: dict[str, float] = {name.name: 0.0 for name in capacitors}
-
     n_steps = int(round(t_stop_s / dt_s))
+    samples = np.empty((n_steps + 1, system.size))
+    samples[0] = x
+    state: dict[str, float] = {}
+
     previous_x = np.array(x)
     for step in range(1, n_steps + 1):
         t = step * dt_s
@@ -94,30 +99,15 @@ def transient(
             raise CircuitError(f"transient Newton failed at t = {t:.3e} s")
         # Update trapezoidal history currents at the accepted solution.
         if integrator == "trapezoidal":
-            from repro.circuit.elements import StampContext
-
-            ctx = StampContext(
-                system=system,
-                x=x_next,
-                residual=np.zeros(system.size),
-                jacobian=np.zeros((system.size, system.size)),
-                time_s=t,
-                dt_s=dt_s,
-                previous_x=previous_x,
-                integrator=integrator,
-                state=state,
-            )
-            for cap in capacitors:
-                state[cap.name] = cap.update_state(ctx)
-        times.append(t)
-        samples.append(np.array(x_next))
+            system.update_capacitor_state(x_next, previous_x, dt_s, integrator, state)
+        samples[step] = x_next
         previous_x = x_next
 
-    stacked = np.vstack(samples)
+    times = dt_s * np.arange(n_steps + 1)
     voltages = {
-        node: stacked[:, system.node_index(node)] for node in circuit.node_names
+        node: samples[:, system.node_index(node)] for node in circuit.node_names
     }
-    currents = {src.name: stacked[:, src.branch_index] for src in sources}
+    currents = {src.name: samples[:, src.branch_index] for src in sources}
     return TransientResult(
-        time_s=np.array(times), voltages=voltages, source_currents=currents
+        time_s=times, voltages=voltages, source_currents=currents
     )

@@ -1,14 +1,25 @@
 """Device-model interface shared by physical and empirical FET models.
 
-Every FET in this package exposes one method:
+Every FET in this package exposes one scalar method:
 
     current(vgs, vds) -> drain current [A]
 
 with n-type sign conventions (positive ``vds`` drives positive drain
-current; current is zero at ``vds = 0``).  The circuit simulator, the
-analysis helpers and the benchmark harness all program against this
-interface, so a ballistic CNT-FET, an empirical non-saturating GNR model
-and a tabulated reference device are interchangeable.
+current; current is zero at ``vds = 0``).  On top of it sit two batched
+entry points the circuit simulator and analysis helpers program against:
+
+    currents(vgs_array, vds_array)  -> elementwise drain currents
+    linearize(vgs, vds, delta_v)    -> (id, gm, gds) arrays
+
+``linearize`` is the small-signal API the compiled MNA stamp plan calls
+once per device-model instance per Newton iteration, with all of that
+model's FET bias points batched into one array call.  The default
+implementations fall back to scalar ``current`` per element; models with
+closed-form characteristics override ``currents`` with true array math
+(see :mod:`repro.devices.empirical`) and the finite-difference
+``linearize`` inherits the vectorization for free.  A ballistic CNT-FET,
+an empirical non-saturating GNR model and a tabulated reference device
+therefore stay interchangeable everywhere.
 """
 
 from __future__ import annotations
@@ -21,11 +32,34 @@ import numpy as np
 __all__ = [
     "FETModel",
     "PType",
+    "mirror_symmetric_currents",
     "transfer_curve",
     "output_curve",
     "transconductance",
     "output_conductance",
 ]
+
+
+def mirror_symmetric_currents(forward, vgs_values, vds_values) -> np.ndarray:
+    """Elementwise source/drain exchange: I(vgs, vds<0) = -I(vgs-vds, -vds).
+
+    Coerces and broadcasts the bias arrays, then hands ``forward`` only
+    ``vds >= 0`` points.  This is the one shared implementation of the
+    symmetric-device transform the scalar ``current`` methods apply
+    recursively; every vectorised ``currents`` override routes through
+    it so the symmetry convention cannot drift between device models.
+    """
+    vgs = np.asarray(vgs_values, dtype=float)
+    vds = np.asarray(vds_values, dtype=float)
+    if vgs.shape != vds.shape:
+        vgs, vds = np.broadcast_arrays(vgs, vds)
+    mirrored = vds < 0.0
+    if not mirrored.any():
+        return forward(vgs, vds)
+    current = forward(
+        np.where(mirrored, vgs - vds, vgs), np.where(mirrored, -vds, vds)
+    )
+    return np.where(mirrored, -current, current)
 
 
 class FETModel(abc.ABC):
@@ -41,14 +75,54 @@ class FETModel(abc.ABC):
         return "n"
 
     def currents(self, vgs_values, vds_values) -> np.ndarray:
-        """Vectorised elementwise evaluation (arrays must broadcast)."""
+        """Vectorised elementwise evaluation (arrays must broadcast).
+
+        The base implementation loops scalar ``current`` calls over the
+        flattened broadcast grid — correct for any model.  Subclasses
+        with closed-form characteristics override this with array math;
+        the compiled circuit assembly and the curve helpers below all
+        route through it, so that one override vectorises every consumer.
+        """
         vgs_values, vds_values = np.broadcast_arrays(
             np.asarray(vgs_values, dtype=float), np.asarray(vds_values, dtype=float)
         )
-        out = np.empty(vgs_values.shape)
-        for index in np.ndindex(vgs_values.shape):
-            out[index] = self.current(float(vgs_values[index]), float(vds_values[index]))
-        return out
+        out = np.fromiter(
+            (
+                self.current(vgs, vds)
+                for vgs, vds in zip(vgs_values.ravel().tolist(), vds_values.ravel().tolist())
+            ),
+            dtype=float,
+            count=vgs_values.size,
+        )
+        return out.reshape(vgs_values.shape)
+
+    def linearize(self, vgs_values, vds_values, delta_v: float = 1e-5):
+        """Batched linearization: ``(id, gm, gds)`` at each bias point.
+
+        Central differences on :meth:`currents` with step ``delta_v`` —
+        the same arithmetic the scalar FET stamp historically used, so
+        compiled and reference assembly paths agree to rounding error.
+        The five probe biases (nominal, vgs +/- delta, vds +/- delta) are
+        stacked into a single ``currents`` call so vectorised models pay
+        the array-dispatch overhead once, not five times.  Subclasses
+        with analytic derivatives may override.
+        """
+        vgs = np.asarray(vgs_values, dtype=float)
+        vds = np.asarray(vds_values, dtype=float)
+        if vgs.shape != vds.shape:
+            vgs, vds = np.broadcast_arrays(vgs, vds)
+        probe_vgs = np.empty((5,) + vgs.shape)
+        probe_vgs[:] = vgs
+        probe_vgs[1] += delta_v
+        probe_vgs[2] -= delta_v
+        probe_vds = np.empty_like(probe_vgs)
+        probe_vds[:] = vds
+        probe_vds[3] += delta_v
+        probe_vds[4] -= delta_v
+        probes = self.currents(probe_vgs, probe_vds)
+        gm = (probes[1] - probes[2]) / (2 * delta_v)
+        gds = (probes[3] - probes[4]) / (2 * delta_v)
+        return probes[0], gm, gds
 
 
 @dataclass(frozen=True)
@@ -57,7 +131,9 @@ class PType(FETModel):
 
     I_Dp(V_GS, V_DS) = -I_Dn(-V_GS, -V_DS), the standard complementary-
     device symmetry used for the paper's "symmetrical pFET and nFET"
-    inverter study (Fig. 2).
+    inverter study (Fig. 2).  The batched ``currents``/``linearize``
+    entry points forward to the wrapped n-type model, so a vectorised
+    nFET keeps its vectorisation when mirrored.
     """
 
     nfet: FETModel
@@ -69,15 +145,29 @@ class PType(FETModel):
     def current(self, vgs: float, vds: float) -> float:
         return -self.nfet.current(-vgs, -vds)
 
+    def currents(self, vgs_values, vds_values) -> np.ndarray:
+        return -self.nfet.currents(
+            -np.asarray(vgs_values, dtype=float), -np.asarray(vds_values, dtype=float)
+        )
+
+    def linearize(self, vgs_values, vds_values, delta_v: float = 1e-5):
+        # d/dv [-I_n(-v)] = +I_n'(-v): conductances carry over unsigned.
+        current, gm, gds = self.nfet.linearize(
+            -np.asarray(vgs_values, dtype=float),
+            -np.asarray(vds_values, dtype=float),
+            delta_v,
+        )
+        return -current, gm, gds
+
 
 def transfer_curve(device: FETModel, vgs_values, vds: float) -> np.ndarray:
-    """I_D(V_GS) at fixed V_DS."""
-    return np.array([device.current(float(v), vds) for v in np.asarray(vgs_values)])
+    """I_D(V_GS) at fixed V_DS (one batched ``currents`` call)."""
+    return device.currents(np.asarray(vgs_values, dtype=float), vds)
 
 
 def output_curve(device: FETModel, vds_values, vgs: float) -> np.ndarray:
-    """I_D(V_DS) at fixed V_GS."""
-    return np.array([device.current(vgs, float(v)) for v in np.asarray(vds_values)])
+    """I_D(V_DS) at fixed V_GS (one batched ``currents`` call)."""
+    return device.currents(vgs, np.asarray(vds_values, dtype=float))
 
 
 def transconductance(

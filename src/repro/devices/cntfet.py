@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.devices.base import FETModel
+from repro.devices.base import FETModel, mirror_symmetric_currents
 from repro.physics.cnt import Chirality, chirality_for_gap
 from repro.physics.electrostatics import (
     gate_all_around_capacitance,
@@ -117,6 +117,10 @@ class CNTFET(FETModel):
             return -self.current(vgs - vds, -vds)
         return self._solver.current(vgs, vds)
 
+    def currents(self, vgs_values, vds_values) -> np.ndarray:
+        """Batched I_D through the vectorised top-of-barrier solver."""
+        return mirror_symmetric_currents(self._solver.currents, vgs_values, vds_values)
+
     def operating_point(self, vgs: float, vds: float) -> OperatingPoint:
         """Full self-consistent solution (barrier height, charge, current)."""
         return self._solver.solve(vgs, vds)
@@ -146,7 +150,7 @@ class CNTFET(FETModel):
     ) -> float:
         """SS extracted from the transfer curve inside ``vgs_window``."""
         vgs_values = np.linspace(vgs_window[0], vgs_window[1], 41)
-        currents = np.array([self.current(float(v), vds) for v in vgs_values])
+        currents = self.currents(vgs_values, vds)
         log_i = np.log10(np.clip(currents, 1e-30, None))
         slopes = np.diff(vgs_values) / np.diff(log_i)
         return float(np.min(slopes)) * 1e3

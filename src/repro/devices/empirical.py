@@ -22,7 +22,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.devices.base import FETModel
+from repro.devices.base import FETModel, mirror_symmetric_currents
 from repro.physics.constants import thermal_voltage
 
 __all__ = ["AlphaPowerFET", "NonSaturatingFET", "TabulatedFET"]
@@ -35,6 +35,15 @@ def _softplus(x: float) -> float:
     if x < -35.0:
         return math.exp(x)
     return math.log1p(math.exp(x))
+
+
+def _softplus_array(x: np.ndarray) -> np.ndarray:
+    """Elementwise :func:`_softplus` with identical branch thresholds."""
+    x = np.asarray(x, dtype=float)
+    # exp(min(x, 35)) equals exp(x) exactly on the x < -35 branch, so one
+    # exponential serves both the mid (log1p) and deep-subthreshold cases.
+    exp_x = np.exp(np.minimum(x, 35.0))
+    return np.where(x > 35.0, x, np.where(x < -35.0, exp_x, np.log1p(exp_x)))
 
 
 @dataclass(frozen=True)
@@ -81,6 +90,13 @@ class AlphaPowerFET(FETModel):
             raise ValueError("channel modulation must be >= 0")
         if self.subthreshold_ideality < 1.0:
             raise ValueError("subthreshold ideality must be >= 1")
+        object.__setattr__(
+            self,
+            "_softplus_width",
+            self.subthreshold_ideality
+            * thermal_voltage(self.temperature_k)
+            * self.alpha,
+        )
 
     def overdrive(self, vgs: float) -> float:
         """Smoothed overdrive voltage Vov [V] (exponential below threshold).
@@ -89,11 +105,7 @@ class AlphaPowerFET(FETModel):
         exp((vgs - vt)/(n vT)) below threshold — i.e. the subthreshold
         swing is exactly n * 60 mV/dec regardless of alpha.
         """
-        width = (
-            self.subthreshold_ideality
-            * thermal_voltage(self.temperature_k)
-            * self.alpha
-        )
+        width = self._softplus_width
         return width * _softplus((vgs - self.vt) / width)
 
     def saturation_voltage(self, vgs: float) -> float:
@@ -111,6 +123,21 @@ class AlphaPowerFET(FETModel):
             self.k_a_per_v_alpha
             * overdrive**self.alpha
             * saturation
+            * (1.0 + self.channel_modulation * vds)
+        )
+
+    def currents(self, vgs_values, vds_values) -> np.ndarray:
+        return mirror_symmetric_currents(self._forward_currents, vgs_values, vds_values)
+
+    def _forward_currents(self, vgs: np.ndarray, vds: np.ndarray) -> np.ndarray:
+        """Elementwise alpha-power current on the vds >= 0 quadrant."""
+        width = self._softplus_width
+        overdrive = width * _softplus_array((vgs - self.vt) / width)
+        vdsat = np.maximum(self.sat_fraction * overdrive, 1e-6)
+        return (
+            self.k_a_per_v_alpha
+            * overdrive**self.alpha
+            * np.tanh(vds / vdsat)
             * (1.0 + self.channel_modulation * vds)
         )
 
@@ -148,6 +175,13 @@ class NonSaturatingFET(FETModel):
     def current(self, vgs: float, vds: float) -> float:
         return self.conductance(vgs) * vds
 
+    def currents(self, vgs_values, vds_values) -> np.ndarray:
+        vgs = np.asarray(vgs_values, dtype=float)
+        vds = np.asarray(vds_values, dtype=float)
+        shape = _softplus_array((vgs - self.vt) / self.smoothing_v)
+        norm = _softplus((self.v_on - self.vt) / self.smoothing_v)
+        return self.g_on_s * shape / norm * vds
+
 
 class TabulatedFET(FETModel):
     """FET defined by bilinear interpolation of an I_D(V_GS, V_DS) grid.
@@ -177,21 +211,30 @@ class TabulatedFET(FETModel):
         """Tabulate any model on the given grid (useful to freeze slow solvers)."""
         vgs_grid = np.asarray(vgs_grid, dtype=float)
         vds_grid = np.asarray(vds_grid, dtype=float)
-        grid = np.array(
-            [[model.current(float(vg), float(vd)) for vd in vds_grid] for vg in vgs_grid]
-        )
+        grid = np.asarray(model.currents(vgs_grid[:, None], vds_grid[None, :]))
         return cls(vgs_grid, vds_grid, grid)
 
     def current(self, vgs: float, vds: float) -> float:
         if vds < 0.0:
             return -self.current(vgs - vds, -vds)
-        vgs_c = float(np.clip(vgs, self._vgs[0], self._vgs[-1]))
-        vds_c = float(np.clip(vds, self._vds[0], self._vds[-1]))
-        i = int(np.clip(np.searchsorted(self._vgs, vgs_c) - 1, 0, self._vgs.size - 2))
-        j = int(np.clip(np.searchsorted(self._vds, vds_c) - 1, 0, self._vds.size - 2))
+        return float(
+            self._interpolate(
+                np.asarray(vgs, dtype=float), np.asarray(vds, dtype=float)
+            )
+        )
+
+    def currents(self, vgs_values, vds_values) -> np.ndarray:
+        return mirror_symmetric_currents(self._interpolate, vgs_values, vds_values)
+
+    def _interpolate(self, vgs: np.ndarray, vds: np.ndarray) -> np.ndarray:
+        """Elementwise clamped bilinear interpolation on the vds >= 0 quadrant."""
+        vgs_c = np.clip(vgs, self._vgs[0], self._vgs[-1])
+        vds_c = np.clip(vds, self._vds[0], self._vds[-1])
+        i = np.clip(np.searchsorted(self._vgs, vgs_c) - 1, 0, self._vgs.size - 2)
+        j = np.clip(np.searchsorted(self._vds, vds_c) - 1, 0, self._vds.size - 2)
         tx = (vgs_c - self._vgs[i]) / (self._vgs[i + 1] - self._vgs[i])
         ty = (vds_c - self._vds[j]) / (self._vds[j + 1] - self._vds[j])
-        return float(
+        return (
             self._id[i, j] * (1 - tx) * (1 - ty)
             + self._id[i + 1, j] * tx * (1 - ty)
             + self._id[i, j + 1] * (1 - tx) * ty

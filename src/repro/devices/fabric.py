@@ -86,6 +86,22 @@ class CNTFabricFET(FETModel):
         )
         return semiconducting + self.metallic_conductance_s * vds
 
+    def currents(self, vgs_values, vds_values) -> np.ndarray:
+        vgs, vds = np.broadcast_arrays(
+            np.asarray(vgs_values, dtype=float), np.asarray(vds_values, dtype=float)
+        )
+        total = self.metallic_conductance_s * vds
+        # sample_fabric reuses cached per-chirality device instances, so
+        # evaluate each distinct model once and scale by its multiplicity.
+        groups: dict[int, list] = {}
+        for device in self.tube_devices:
+            entry = groups.setdefault(id(device), [device, 0])
+            entry[1] += 1
+        for device, count in groups.values():
+            contribution = device.currents(vgs, vds)
+            total = total + (contribution if count == 1 else count * contribution)
+        return total
+
     def current_density_a_per_m(self, vgs: float, vds: float) -> float:
         """Drive current per unit fabric width [A/m]."""
         return self.current(vgs, vds) / (self.width_nm * 1e-9)

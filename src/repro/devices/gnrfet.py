@@ -11,7 +11,9 @@ separately as :class:`repro.devices.empirical.NonSaturatingFET`.
 
 from __future__ import annotations
 
-from repro.devices.base import FETModel
+import numpy as np
+
+from repro.devices.base import FETModel, mirror_symmetric_currents
 from repro.physics.electrostatics import ribbon_plate_capacitance
 from repro.physics.gnr import ArmchairGNR, gnr_for_gap
 from repro.transport.ballistic import BallisticParameters, OperatingPoint, TopOfBarrierSolver
@@ -77,6 +79,10 @@ class GNRFET(FETModel):
         if vds < 0.0:
             return -self.current(vgs - vds, -vds)
         return self._solver.current(vgs, vds)
+
+    def currents(self, vgs_values, vds_values) -> np.ndarray:
+        """Batched I_D through the vectorised top-of-barrier solver."""
+        return mirror_symmetric_currents(self._solver.currents, vgs_values, vds_values)
 
     def operating_point(self, vgs: float, vds: float) -> OperatingPoint:
         """Full self-consistent solution (barrier height, charge, current)."""

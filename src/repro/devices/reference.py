@@ -57,6 +57,9 @@ class TrigateFET(FETModel):
     def current(self, vgs: float, vds: float) -> float:
         return self.core.current(vgs, vds)
 
+    def currents(self, vgs_values, vds_values):
+        return self.core.currents(vgs_values, vds_values)
+
     def current_density_a_per_m(self, vgs: float, vds: float) -> float:
         """Current per effective width [A/m]."""
         return self.current(vgs, vds) / (self.effective_width_nm * 1e-9)

@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.analysis.iv import saturation_index, subthreshold_swing_mv_per_decade
+from repro.devices.base import output_curve, transfer_curve
 from repro.devices.cntfet import CNTFET
 from repro.devices.empirical import NonSaturatingFET
 from repro.devices.gnrfet import GNRFET
@@ -106,12 +107,12 @@ def run_fig1(n_points: int = 41) -> Fig1Result:
     gnr = GNRFET.for_bandgap(GAP_EV)
 
     vgs = np.linspace(0.0, 0.6, n_points)
-    cnt_transfer = np.array([cnt.current(float(v), VDS_TRANSFER_V) for v in vgs])
-    gnr_transfer = np.array([gnr.current(float(v), VDS_TRANSFER_V) for v in vgs])
+    cnt_transfer = transfer_curve(cnt, vgs, VDS_TRANSFER_V)
+    gnr_transfer = transfer_curve(gnr, vgs, VDS_TRANSFER_V)
 
     vds = np.linspace(0.0, 0.5, n_points)
-    cnt_output = np.array([cnt.current(VG_OUTPUT_V, float(v)) for v in vds])
-    gnr_output = np.array([gnr.current(VG_OUTPUT_V, float(v)) for v in vds])
+    cnt_output = output_curve(cnt, vds, VG_OUTPUT_V)
+    gnr_output = output_curve(gnr, vds, VG_OUTPUT_V)
 
     # "Real GNR": linear resistor steered by the gate, matched to the same
     # current scale at full drive so the panels are comparable.
@@ -119,7 +120,7 @@ def run_fig1(n_points: int = 41) -> Fig1Result:
         g_on_s=gnr_output[-1] / 0.5, vt=0.15, v_on=0.5, smoothing_v=0.1
     )
     real_output = {
-        vg: np.array([real_gnr.current(vg, float(v)) for v in vds])
+        vg: output_curve(real_gnr, vds, vg)
         for vg in REAL_GNR_GATE_VOLTAGES
     }
     return Fig1Result(

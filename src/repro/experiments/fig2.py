@@ -25,6 +25,7 @@ from repro.analysis.vtc import VTCMetrics, analyze_vtc
 from repro.circuit.cells import build_inverter, inverter_vtc
 from repro.circuit.transient import transient
 from repro.circuit.waveforms import Pulse
+from repro.devices.base import output_curve
 from repro.devices.empirical import AlphaPowerFET, NonSaturatingFET
 
 __all__ = [
@@ -115,11 +116,11 @@ def run_fig2(n_points: int = 161) -> Fig2Result:
 
     vds = np.linspace(0.0, 1.0, 51)
     family_sat = {
-        vg: np.array([sat.current(vg, float(v)) for v in vds])
+        vg: output_curve(sat, vds, vg)
         for vg in OUTPUT_GATE_VOLTAGES
     }
     family_lin = {
-        vg: np.array([lin.current(vg, float(v)) for v in vds])
+        vg: output_curve(lin, vds, vg)
         for vg in OUTPUT_GATE_VOLTAGES
     }
 

@@ -14,6 +14,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.analysis.iv import saturation_index
+from repro.devices.base import output_curve
 from repro.devices.cntfet import CNTFET
 from repro.devices.contacts import SeriesResistanceFET
 
@@ -70,11 +71,11 @@ def run_fig4(n_points: int = 41) -> Fig4Result:
     )
     vds = np.linspace(0.0, 0.5, n_points)
     ideal_family = {
-        vg: np.array([ideal.current(vg, float(v)) for v in vds])
+        vg: output_curve(ideal, vds, vg)
         for vg in GATE_VOLTAGES
     }
     contacted_family = {
-        vg: np.array([contacted.current(vg, float(v)) for v in vds])
+        vg: output_curve(contacted, vds, vg)
         for vg in GATE_VOLTAGES
     }
     return Fig4Result(

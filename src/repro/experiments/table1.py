@@ -21,6 +21,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.analysis.iv import ion_ioff_ratio, saturation_index
+from repro.devices.base import output_curve, transfer_curve
 from repro.devices.cntfet import CNTFET
 from repro.devices.contacts import ContactModel
 from repro.devices.empirical import NonSaturatingFET
@@ -93,11 +94,11 @@ def run_table1() -> Table1Result:
         smoothing_v=0.035,
     )
     vgs = np.linspace(0.0, 1.0, 201)
-    transfer = np.array([gnr.current(float(v), 1.0) for v in vgs])
+    transfer = transfer_curve(gnr, vgs, 1.0)
     on_off = ion_ioff_ratio(vgs, transfer, v_off=0.0, v_on=1.0)
     density = gnr.current(1.0, 1.0) / gnr_width_um * 1e3  # [A/um] -> [mA/um]
     vds = np.linspace(0.0, 1.0, 101)
-    output = np.array([gnr.current(1.0, float(v)) for v in vds])
+    output = output_curve(gnr, vds, 1.0)
     gnr_sat = saturation_index(vds, output)
 
     # Dark-space SS comparison at L = 9 nm, EOT 0.7 nm.
