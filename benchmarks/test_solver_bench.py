@@ -11,10 +11,11 @@ introduction of this benchmark): 20-stage ``evaluate()`` ~359 us, Newton
 ~0.72 ms, 200-step transient ~0.218 s; the compiled engine landed at
 ~52 us / ~0.13 ms / ~0.041 s (6.9x / 5.4x / 5.3x).
 
-The chains cold-start from an alternating-rails guess: plain Newton and
-both homotopies fail beyond ~4 stages (a seed-era limitation this
-structural seed sidesteps), and the guess makes the measured work
-identical across implementations.
+The Newton benchmarks start from an alternating-rails guess so the
+measured work is identical across implementations; the transient
+benchmark cold-starts with no ``x0`` — the continuation subsystem's
+structural seeder (:mod:`repro.circuit.continuation`) reconstructs the
+rails automatically, which is the bug fix this file guards the cost of.
 """
 
 import numpy as np
@@ -84,11 +85,9 @@ def test_newton_solve_wall_clock(benchmark, n_stages):
 
 def test_chain20_transient_wall_clock(benchmark):
     circuit = _chain(20)
-    guess = _rails_guess(circuit.build_system(), 20)
 
     result = benchmark.pedantic(
-        transient, args=(circuit, T_STOP_S, DT_S),
-        kwargs=dict(x0=guess), rounds=3, iterations=1,
+        transient, args=(circuit, T_STOP_S, DT_S), rounds=3, iterations=1,
     )
     print_rows(
         "20-stage chain transient (200 steps)",

@@ -100,12 +100,24 @@ def _interp_unity_crossing(
 
 
 def _switching_threshold(v_in: np.ndarray, v_out: np.ndarray) -> float:
-    """First crossing of v_out = v_in."""
+    """First crossing of v_out = v_in.
+
+    Samples lying exactly on the crossing (``diff == 0``, where
+    ``np.sign`` returns 0) are answered directly instead of being fed
+    into the interpolation, whose ``diff[i] - diff[i+1]`` denominator
+    can vanish on such points.
+    """
     diff = v_out - v_in
+    exact = np.nonzero(diff == 0.0)[0]
     signs = np.sign(diff)
     crossings = np.nonzero(np.diff(signs) != 0)[0]
+    if exact.size and (crossings.size == 0 or int(exact[0]) <= int(crossings[0]) + 1):
+        return float(v_in[int(exact[0])])
     if crossings.size == 0:
         return float(v_in[int(np.argmin(np.abs(diff)))])
     i = int(crossings[0])
-    t = diff[i] / (diff[i] - diff[i + 1])
+    denominator = diff[i] - diff[i + 1]
+    if denominator == 0.0:
+        return float(v_in[i])
+    t = diff[i] / denominator
     return float(v_in[i] + t * (v_in[i + 1] - v_in[i]))

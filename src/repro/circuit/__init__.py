@@ -5,6 +5,14 @@ study: netlist construction (:class:`Circuit`), DC operating point and
 swept DC with continuation, trapezoidal/backward-Euler transient, and
 standard-cell builders for inverters and ring oscillators.
 
+Cold-start DC robustness comes from the adaptive continuation
+subsystem (:mod:`repro.circuit.continuation`): a logic-aware
+structural seeder plus adaptive gmin stepping, adaptive source
+ramping, and pseudo-transient continuation, with every Newton attempt
+recorded in a :class:`ConvergenceReport` — deep FET chains and ring
+oscillators solve with no hand-fed initial guess, and failures raise
+:class:`ConvergenceError` carrying the full ladder history.
+
 Assembly architecture (see :mod:`repro.circuit.assembly`): at
 ``build_system()`` time the netlist is compiled into a stamp plan that
 splits elements into a *linear* group (R, C companion models, V/I
@@ -21,6 +29,12 @@ and the fallback for user-defined element types.
 """
 
 from repro.circuit.ac import ACResult, ac_analysis
+from repro.circuit.continuation import (
+    ConvergenceError,
+    ConvergenceReport,
+    solve_dc_robust,
+    structural_seed,
+)
 from repro.circuit.cells import (
     InverterCell,
     build_inverter,
@@ -37,6 +51,8 @@ __all__ = [
     "ACResult",
     "Circuit",
     "CircuitError",
+    "ConvergenceError",
+    "ConvergenceReport",
     "DC",
     "InverterCell",
     "OperatingPointResult",
@@ -52,5 +68,7 @@ __all__ = [
     "inverter_vtc",
     "operating_point",
     "ring_oscillator_frequency",
+    "solve_dc_robust",
+    "structural_seed",
     "transient",
 ]

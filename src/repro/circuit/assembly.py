@@ -35,6 +35,8 @@ from __future__ import annotations
 
 import numpy as np
 from scipy import sparse
+from scipy.linalg import lu_factor, lu_solve
+from scipy.sparse.linalg import splu
 
 from repro.circuit.elements import (
     FET,
@@ -50,6 +52,11 @@ __all__ = ["StampPlan", "UnsupportedElement", "SPARSE_THRESHOLD"]
 # Unknown-count at which assembly (and the Newton solve) switch from
 # preallocated dense buffers to scipy.sparse CSR matrices.
 SPARSE_THRESHOLD = 128
+
+# Diagonal regularization applied before any factorization — shared
+# with the Newton solver (which imports it), so linear-only cached-LU
+# solves and per-iteration nonlinear solves get identical conditioning.
+DIAG_REGULARIZATION = 1e-14
 
 _COMPILED_TYPES = (Resistor, Capacitor, VoltageSource, CurrentSource, FET)
 
@@ -147,13 +154,19 @@ class _FETGroup:
 
 
 class _LinearSystem:
-    """Cached constant linear part for one ``(dt, integrator)`` key."""
+    """Cached constant linear part for one ``(dt, integrator)`` key.
 
-    __slots__ = ("matrix", "cap_geq")
+    ``solve`` holds a lazily-built LU-backed ``solve(rhs)`` callable for
+    linear-only circuits, so transient steps and sweep points reuse one
+    factorization instead of refactorizing the identical matrix.
+    """
+
+    __slots__ = ("matrix", "cap_geq", "solve")
 
     def __init__(self, matrix, cap_geq):
         self.matrix = matrix
         self.cap_geq = cap_geq
+        self.solve = None
 
 
 class StampPlan:
@@ -274,6 +287,10 @@ class StampPlan:
             _FETGroup(fet_devices[key], key[1], fets, pad, jac_idx, size)
             for key, fets in fet_bins.items()
         ]
+        # Linear-only circuits have a bias-independent Jacobian: the
+        # Newton solver then routes steps through linear_step()'s cached
+        # factorization instead of refactorizing every iteration.
+        self.linear_only = not self.fet_groups
 
         # -- per-call buffers ---------------------------------------------------
         self._xpad = np.zeros(size + 1)
@@ -340,6 +357,40 @@ class StampPlan:
         self._lin_cache[key] = linear
         return linear
 
+    def linear_step(
+        self,
+        residual: np.ndarray,
+        dt_s: float | None = None,
+        integrator: str = "trapezoidal",
+    ) -> np.ndarray | None:
+        """Newton step ``A^-1 (-residual)`` from the cached factorization.
+
+        Only meaningful for linear-only plans (``self.linear_only``),
+        whose Jacobian equals the constant matrix for every iterate.
+        The LU factors are built once per ``(dt, integrator)`` key with
+        the solver's tiny diagonal regularization.  Returns None when
+        the matrix cannot be factorized or the solve is non-finite.
+        """
+        linear = self._linear_system(dt_s, integrator)
+        if linear.solve is None:
+            if self.use_sparse:
+                regularized = (
+                    linear.matrix
+                    + DIAG_REGULARIZATION * sparse.identity(self.size, format="csr")
+                )
+                try:
+                    linear.solve = splu(regularized.tocsc()).solve
+                except RuntimeError:
+                    return None
+            else:
+                matrix = linear.matrix.copy()
+                diagonal = np.einsum("ii->i", matrix)
+                diagonal += DIAG_REGULARIZATION
+                factors = lu_factor(matrix, check_finite=False)
+                linear.solve = lambda rhs: lu_solve(factors, rhs, check_finite=False)
+        step = linear.solve(-residual)
+        return step if np.all(np.isfinite(step)) else None
+
     # -- evaluation ---------------------------------------------------------------
     def evaluate(
         self,
@@ -351,11 +402,16 @@ class StampPlan:
         state: dict | None = None,
         source_scale: float = 1.0,
         gmin: float = 0.0,
+        gmin_ref: np.ndarray | None = None,
     ):
         """Residual F(x) and Jacobian dF/dx via the compiled plan.
 
         Dense mode returns views of reused buffers; sparse mode returns a
         fresh ``scipy.sparse`` CSR Jacobian and a reused residual view.
+        ``gmin`` adds a shunt conductance from every node to ground;
+        with ``gmin_ref`` the shunt anchors at that reference vector
+        instead — the pseudo-transient continuation stamp
+        ``gmin * (x - gmin_ref)`` (the Jacobian term is identical).
         """
         size = self.size
         xpad = self._xpad
@@ -410,6 +466,8 @@ class StampPlan:
 
         if gmin > 0.0:
             residual[: self.n_nodes] += gmin * x[: self.n_nodes]
+            if gmin_ref is not None:
+                residual[: self.n_nodes] -= gmin * gmin_ref[: self.n_nodes]
         return residual, jacobian
 
     def _evaluate_fets_sparse(self, xpad, rpad, linear):

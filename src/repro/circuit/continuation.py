@@ -1,0 +1,403 @@
+"""Adaptive DC continuation: structural seeding, homotopy ladder, diagnostics.
+
+The fixed-schedule homotopies that used to live in ``solve_dc`` (one
+hard-coded gmin ladder, one ten-point source ramp) failed beyond ~4
+inverter stages and forced callers to hand-feed a structural ``x0``
+guess.  This module replaces them with a proper continuation subsystem:
+
+* :func:`structural_seed` — a logic-aware seeder that pins every node a
+  voltage source determines, then propagates rail values through the
+  netlist by treating FETs as switches (strongly-on devices short their
+  drain to their source rail) and resistors as wires.  For CMOS-style
+  logic — inverter chains, NAND/NOR stacks, ring oscillators — this
+  reconstructs the alternating-rails operating-point structure that a
+  cold ``x = 0`` start cannot see, so plain Newton usually converges
+  immediately and no caller needs to pass ``x0`` any more.
+* **Adaptive gmin stepping** — instead of aborting when one step of a
+  fixed schedule fails, the reduction factor backtracks (refines) on
+  failure and accelerates after successes, so the ladder finds however
+  many stages the circuit actually needs.
+* **Adaptive source ramping** — the ramp step size halves on failure
+  and grows on success, resolving sharp transfer-curve transitions a
+  uniform ten-point ramp steps straight over.
+* **Pseudo-transient continuation (PTC)** — the final fallback: solve
+  ``F(x) + alpha (x - x_k) = 0``, relaxing the damping conductance
+  ``alpha`` toward zero so the iterates follow a damped startup
+  transient into the DC solution.  The anchor term rides the solver's
+  gmin stamp with a reference vector (``gmin_ref``), stamped by both
+  the compiled plan and the reference evaluator.
+
+Every Newton attempt is recorded in a :class:`ConvergenceReport`
+(strategy, continuation parameter, iteration count, final residual), so
+a failed solve raises :class:`ConvergenceError` carrying the full
+ladder history instead of a bare message.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.circuit.assembly import _unwrap_polarity
+from repro.circuit.elements import FET, GROUND_NAMES, Resistor, VoltageSource
+from repro.circuit.netlist import CircuitError, MNASystem
+from repro.circuit.solver import newton_solve
+
+__all__ = [
+    "ConvergenceError",
+    "ConvergenceReport",
+    "StageAttempt",
+    "solve_dc_robust",
+    "structural_seed",
+]
+
+# gmin ladder: starting shunt conductance, escalation ceiling when even
+# the start fails, and the value below which the shunt is dropped to 0.
+_GMIN_START = 1e-2
+_GMIN_MAX = 10.0
+_GMIN_FLOOR = 1e-12
+_GMIN_FACTOR_MAX = 100.0
+_GMIN_FACTOR_MIN = 1.05
+
+# source ramp: initial/maximum fractional step and the refinement floor.
+_SOURCE_STEP_START = 0.1
+_SOURCE_STEP_MAX = 0.25
+_SOURCE_STEP_MIN = 1e-4
+
+# pseudo-transient: starting damping conductance, escalation ceiling,
+# and the value at which the damping is considered fully relaxed.
+_PTC_ALPHA_START = 1e-3
+_PTC_ALPHA_MAX = 1e3
+_PTC_ALPHA_FLOOR = 1e-12
+
+# Per-strategy cap on Newton attempts — bounds a pathological ladder.
+_MAX_STAGE_SOLVES = 80
+
+# Fraction of the rail span |vgs| must exceed for the structural seeder
+# to call a FET "strongly on" and short its drain to the source rail.
+_SEED_ON_FRACTION = 0.6
+
+
+@dataclass(frozen=True)
+class StageAttempt:
+    """One recorded Newton attempt inside the continuation ladder."""
+
+    stage: str
+    parameter: float | None
+    iterations: int
+    residual: float
+    converged: bool
+
+
+@dataclass
+class ConvergenceReport:
+    """Ladder history threaded through ``newton_solve``/``solve_dc``."""
+
+    attempts: list[StageAttempt] = field(default_factory=list)
+    converged: bool = False
+    strategy: str | None = None
+
+    def record(
+        self,
+        stage: str,
+        parameter: float | None,
+        iterations: int,
+        residual: float,
+        converged: bool,
+    ) -> None:
+        self.attempts.append(
+            StageAttempt(stage, parameter, iterations, float(residual), converged)
+        )
+
+    @property
+    def total_iterations(self) -> int:
+        return sum(attempt.iterations for attempt in self.attempts)
+
+    @property
+    def final_residual(self) -> float:
+        return self.attempts[-1].residual if self.attempts else float("inf")
+
+    @property
+    def stages_used(self) -> tuple[str, ...]:
+        seen: list[str] = []
+        for attempt in self.attempts:
+            if attempt.stage not in seen:
+                seen.append(attempt.stage)
+        return tuple(seen)
+
+    def describe(self) -> str:
+        """Multi-line summary: per-strategy attempts, iterations, residuals."""
+        verdict = (
+            f"converged via {self.strategy}" if self.converged else "FAILED"
+        )
+        lines = [
+            f"DC continuation {verdict}: {len(self.attempts)} Newton attempts, "
+            f"{self.total_iterations} iterations, "
+            f"final residual {self.final_residual:.3e}"
+        ]
+        for stage in self.stages_used:
+            attempts = [a for a in self.attempts if a.stage == stage]
+            last = attempts[-1]
+            parameter = (
+                "" if last.parameter is None else f", last parameter {last.parameter:.3e}"
+            )
+            lines.append(
+                f"  {stage}: {len(attempts)} attempts, "
+                f"{sum(a.iterations for a in attempts)} iterations, "
+                f"last residual {last.residual:.3e}{parameter}"
+            )
+        return "\n".join(lines)
+
+
+class ConvergenceError(CircuitError):
+    """A DC solve that exhausted the continuation ladder, with its report."""
+
+    def __init__(self, message: str, report: ConvergenceReport):
+        super().__init__(f"{message}\n{report.describe()}")
+        self.report = report
+
+
+def structural_seed(system: MNASystem, time_s: float | None = None) -> np.ndarray:
+    """Logic-aware initial guess: propagate rail values through the netlist.
+
+    Nodes pinned by voltage sources (evaluated at ``time_s``, or their DC
+    level when ``None``) seed the propagation; FETs whose gate drive
+    exceeds :data:`_SEED_ON_FRACTION` of the rail span act as closed
+    switches copying the source rail onto an undriven drain, and
+    resistors copy a known voltage onto an unknown neighbour.  Nodes the
+    propagation cannot reach settle at mid-rail; branch currents start
+    at zero.
+    """
+    circuit = system.circuit
+    known: dict[str, float] = {}
+
+    def get(node: str) -> float | None:
+        if node in GROUND_NAMES:
+            return 0.0
+        return known.get(node)
+
+    def put(node: str, value: float) -> bool:
+        if node in GROUND_NAMES or node in known:
+            return False
+        known[node] = float(value)
+        return True
+
+    vsources = [el for el in circuit.elements if isinstance(el, VoltageSource)]
+    fets = [el for el in circuit.elements if isinstance(el, FET)]
+    resistors = [el for el in circuit.elements if isinstance(el, Resistor)]
+
+    # Pin source-determined nodes (fixpoint handles stacked sources).
+    changed = True
+    while changed:
+        changed = False
+        for el in vsources:
+            vp, vn = get(el.p), get(el.n)
+            if vp is None and vn is not None:
+                changed |= put(el.p, vn + el.level(time_s))
+            elif vn is None and vp is not None:
+                changed |= put(el.n, vp - el.level(time_s))
+
+    rails = [0.0, *known.values()]
+    v_lo, v_hi = min(rails), max(rails)
+    span = v_hi - v_lo
+
+    x = np.zeros(system.size)
+    if span <= 0.0:
+        for node, value in known.items():
+            x[system.node_index(node)] = value
+        return x
+
+    # Switch-level propagation to a fixpoint.  Rules fire in priority
+    # order — voltage sources (exact) > FET switches > resistor wires
+    # (both heuristic) — and the heuristic sweeps stop after their
+    # first assignment so the exact rules are re-checked before any
+    # further guess: a source whose terminals only become known through
+    # propagation is still pinned exactly, never left at mid-rail.
+    threshold = _SEED_ON_FRACTION * span
+    max_passes = system.n_nodes + len(circuit.elements) + 1
+    for _ in range(max_passes):
+        changed = False
+        for el in vsources:
+            vp, vn = get(el.p), get(el.n)
+            if vp is None and vn is not None:
+                changed |= put(el.p, vn + el.level(time_s))
+            elif vn is None and vp is not None:
+                changed |= put(el.n, vp - el.level(time_s))
+        if changed:
+            continue
+        for el in fets:
+            vg, vs = get(el.gate), get(el.source)
+            if vg is None or vs is None or get(el.drain) is not None:
+                continue
+            _, sign = _unwrap_polarity(el.device)
+            if sign * (vg - vs) >= threshold and put(el.drain, vs):
+                changed = True
+                break
+        if changed:
+            continue
+        for el in resistors:
+            vp, vn = get(el.p), get(el.n)
+            if vp is None and vn is not None:
+                changed = put(el.p, vn)
+            elif vn is None and vp is not None:
+                changed = put(el.n, vp)
+            if changed:
+                break
+        if not changed:
+            break
+
+    mid = v_lo + 0.5 * span
+    for node in circuit.node_names:
+        x[system.node_index(node)] = known.get(node, mid)
+    return x
+
+
+def solve_dc_robust(
+    system: MNASystem, x0: np.ndarray | None = None, **eval_kwargs
+) -> tuple[np.ndarray, ConvergenceReport]:
+    """DC solve through the continuation ladder; never raises.
+
+    Tries, in order: plain Newton from ``x0`` (or the structural seed),
+    adaptive gmin stepping, adaptive source ramping, pseudo-transient
+    continuation.  Returns the best iterate and the full
+    :class:`ConvergenceReport`; check ``report.converged``.
+    """
+    report = ConvergenceReport()
+    seed = (
+        structural_seed(system, eval_kwargs.get("time_s"))
+        if x0 is None
+        else np.array(x0, dtype=float)
+    )
+
+    x, ok = newton_solve(system, seed, report=report, stage="newton", **eval_kwargs)
+    if not ok:
+        for strategy, runner in (
+            ("gmin", _gmin_stepping),
+            ("source", _source_ramping),
+            ("ptc", _pseudo_transient),
+        ):
+            x, ok = runner(system, seed, report, **eval_kwargs)
+            if ok:
+                break
+    if ok:
+        report.converged = True
+        report.strategy = report.attempts[-1].stage if report.attempts else "newton"
+    return x, report
+
+
+def _gmin_stepping(
+    system: MNASystem,
+    seed: np.ndarray,
+    report: ConvergenceReport,
+    **eval_kwargs,
+) -> tuple[np.ndarray, bool]:
+    """Adaptive gmin ladder: backtrack and refine the schedule on failure."""
+
+    def solve(x_from, gmin):
+        return newton_solve(
+            system, x_from, gmin=gmin, report=report, stage="gmin",
+            parameter=gmin, **eval_kwargs,
+        )
+
+    x = np.array(seed)
+    gmin = _GMIN_START
+    solves = 0
+    # Anchor the ladder: escalate gmin until Newton lands somewhere.
+    while True:
+        x_try, ok = solve(x, gmin)
+        solves += 1
+        if ok:
+            x = x_try
+            break
+        gmin *= 100.0
+        if gmin > _GMIN_MAX or solves >= _MAX_STAGE_SOLVES:
+            return x, False
+
+    factor = 10.0
+    while gmin > _GMIN_FLOOR and solves < _MAX_STAGE_SOLVES:
+        x_try, ok = solve(x, gmin / factor)
+        solves += 1
+        if ok:
+            x, gmin = x_try, gmin / factor
+            factor = min(factor * 2.0, _GMIN_FACTOR_MAX)
+        else:
+            factor = float(np.sqrt(factor))
+            if factor < _GMIN_FACTOR_MIN:
+                return x, False
+
+    x_final, ok = solve(x, 0.0)
+    return (x_final, True) if ok else (x, False)
+
+
+def _source_ramping(
+    system: MNASystem,
+    seed: np.ndarray,
+    report: ConvergenceReport,
+    **eval_kwargs,
+) -> tuple[np.ndarray, bool]:
+    """Adaptive source ramp 0 -> 100 % with step refinement on failure."""
+
+    def solve(x_from, scale):
+        return newton_solve(
+            system, x_from, source_scale=scale, report=report, stage="source",
+            parameter=scale, **eval_kwargs,
+        )
+
+    x, ok = solve(np.zeros(system.size), 0.0)
+    if not ok:
+        return x, False
+    scale, step = 0.0, _SOURCE_STEP_START
+    solves = 0
+    while scale < 1.0 and solves < _MAX_STAGE_SOLVES:
+        target = min(1.0, scale + step)
+        x_try, ok = solve(x, target)
+        solves += 1
+        if ok:
+            x, scale = x_try, target
+            step = min(step * 1.7, _SOURCE_STEP_MAX)
+        else:
+            step *= 0.5
+            if step < _SOURCE_STEP_MIN:
+                return x, False
+    return x, scale >= 1.0
+
+
+def _pseudo_transient(
+    system: MNASystem,
+    seed: np.ndarray,
+    report: ConvergenceReport,
+    **eval_kwargs,
+) -> tuple[np.ndarray, bool]:
+    """Pseudo-transient continuation: relax F(x) + alpha (x - x_k) = 0.
+
+    The damping term anchors each solve at the previous pseudo-time
+    point through the evaluator's ``gmin``/``gmin_ref`` stamp; ``alpha``
+    relaxes toward zero on success and stiffens on failure, like an
+    adaptive implicit-Euler startup transient with node capacitors.
+    """
+    x = np.array(seed)
+    alpha = _PTC_ALPHA_START
+    solves = 0
+    while solves < _MAX_STAGE_SOLVES:
+        x_try, ok = newton_solve(
+            system, x, gmin=alpha, gmin_ref=x, report=report, stage="ptc",
+            parameter=alpha, **eval_kwargs,
+        )
+        solves += 1
+        if ok:
+            moved = float(np.max(np.abs(x_try - x)))
+            x = x_try
+            if alpha <= _PTC_ALPHA_FLOOR:
+                x_final, ok = newton_solve(
+                    system, x, report=report, stage="ptc", parameter=0.0,
+                    **eval_kwargs,
+                )
+                return (x_final, True) if ok else (x, False)
+            # Relax faster once the pseudo-transient has settled.
+            alpha /= 4.0 if moved < 1e-6 else 2.0
+        else:
+            alpha *= 10.0
+            if alpha > _PTC_ALPHA_MAX:
+                return x, False
+    return x, False

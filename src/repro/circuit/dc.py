@@ -82,7 +82,16 @@ def _pack_result(system: MNASystem, x: np.ndarray) -> OperatingPointResult:
 def operating_point(
     circuit: Circuit, x0: np.ndarray | None = None
 ) -> OperatingPointResult:
-    """Solve the DC operating point of the circuit."""
+    """Solve the DC operating point of the circuit.
+
+    Cold starts go through the adaptive continuation ladder of
+    :mod:`repro.circuit.continuation` (structural seeding, adaptive
+    gmin/source stepping, pseudo-transient fallback), so deep FET
+    chains need no ``x0``; the parameter remains as an override for
+    selecting a branch of a multistable circuit.  Failures raise
+    :class:`~repro.circuit.continuation.ConvergenceError` with the
+    full ladder history.
+    """
     system = circuit.build_system()
     x = solve_dc(system, x0)
     return _pack_result(system, x)

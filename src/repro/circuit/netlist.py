@@ -169,8 +169,14 @@ class MNASystem:
         state: dict | None = None,
         source_scale: float = 1.0,
         gmin: float = 0.0,
+        gmin_ref: np.ndarray | None = None,
     ) -> tuple[np.ndarray, np.ndarray]:
-        """Reference element-walking evaluator (always fresh dense arrays)."""
+        """Reference element-walking evaluator (always fresh dense arrays).
+
+        ``gmin``/``gmin_ref`` stamp the same node shunt (optionally
+        anchored at a reference vector for pseudo-transient
+        continuation) as the compiled plan.
+        """
         residual = np.zeros(self.size)
         jacobian = np.zeros((self.size, self.size))
         ctx = StampContext(
@@ -190,7 +196,8 @@ class MNASystem:
             element.contribute(ctx)
         if gmin > 0.0:
             for i in range(self.n_nodes):
-                residual[i] += gmin * x[i]
+                anchor = 0.0 if gmin_ref is None else gmin_ref[i]
+                residual[i] += gmin * (x[i] - anchor)
                 jacobian[i, i] += gmin
         return residual, jacobian
 

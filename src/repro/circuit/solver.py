@@ -1,20 +1,25 @@
-"""Damped Newton solver with gmin and source stepping for MNA systems.
+"""Damped Newton solver for MNA systems.
 
-The solver attacks F(x) = 0 with Newton iterations, a backtracking line
-search on the residual norm, and two SPICE-style homotopies when plain
-Newton fails from a cold start:
+The solver attacks F(x) = 0 with Newton iterations and a backtracking
+line search on the residual norm.  Convergence is a single
+relative+absolute test on the max-norm residual — the same criterion at
+the main exit, on step stall and at iteration exhaustion, so
+"converged" means one thing everywhere.
 
-* **gmin stepping** — add a conductance from every node to ground and
-  relax it away geometrically (1e-3 S -> off);
-* **source stepping** — ramp all independent sources from 0 to 100 %.
-
-These make the DC operating point of strongly nonlinear FET circuits
-(e.g. an inverter chain biased mid-transition) reliably solvable.
+Cold-start robustness lives in :mod:`repro.circuit.continuation`:
+:func:`solve_dc` delegates to its adaptive ladder (structural seeding,
+adaptive gmin stepping, adaptive source ramping, pseudo-transient
+continuation) and raises a diagnostics-carrying
+:class:`~repro.circuit.continuation.ConvergenceError` when the ladder
+is exhausted.
 
 Linear algebra adapts to what the compiled stamp plan hands back: small
 systems solve dense with an in-place diagonal regularization (no
 per-iteration ``np.eye`` allocation), large systems arrive as
-``scipy.sparse`` CSR matrices and go through a sparse LU.
+``scipy.sparse`` CSR matrices and go through a sparse LU.  Circuits
+with no nonlinear devices skip refactorization entirely — the constant
+linear matrix is LU-factorized once per ``(dt, integrator)`` key by the
+stamp plan and every Newton step reuses the cached factors.
 """
 
 from __future__ import annotations
@@ -24,14 +29,15 @@ from scipy import sparse
 from scipy.linalg.lapack import dgesv
 from scipy.sparse.linalg import splu
 
-from repro.circuit.netlist import CircuitError, MNASystem
+from repro.circuit.assembly import DIAG_REGULARIZATION as _DIAG_REGULARIZATION
+from repro.circuit.netlist import MNASystem
 
 __all__ = ["newton_solve", "solve_dc"]
 
 _MAX_ITERATIONS = 120
-_RESIDUAL_TOL = 1e-10
+_RESIDUAL_ATOL = 1e-10
+_RESIDUAL_RTOL = 1e-9
 _STEP_TOL = 1e-10
-_DIAG_REGULARIZATION = 1e-14
 
 
 def _newton_step(jacobian, residual, reg_identity) -> np.ndarray | None:
@@ -61,25 +67,49 @@ def newton_solve(
     x0: np.ndarray,
     source_scale: float = 1.0,
     gmin: float = 0.0,
+    report=None,
+    stage: str = "newton",
+    parameter: float | None = None,
     **eval_kwargs,
 ) -> tuple[np.ndarray, bool]:
-    """Damped Newton from ``x0``; returns (solution, converged)."""
+    """Damped Newton from ``x0``; returns (solution, converged).
+
+    Converged means ``norm <= _RESIDUAL_ATOL + _RESIDUAL_RTOL * norm0``
+    with ``norm0`` the residual at ``x0`` — evaluated identically at
+    every exit.  When ``report`` (a
+    :class:`~repro.circuit.continuation.ConvergenceReport`) is given,
+    the attempt is recorded under ``stage``/``parameter`` with its
+    iteration count and final residual.
+    """
     x = np.array(x0, dtype=float)
     residual, jacobian = system.evaluate(
         x, source_scale=source_scale, gmin=gmin, **eval_kwargs
     )
     norm = float(np.max(np.abs(residual)))
+    tolerance = _RESIDUAL_ATOL + _RESIDUAL_RTOL * norm
+    iterations = 0
+
+    # Linear-only circuits reuse the plan's cached LU of the constant
+    # matrix instead of refactorizing the identical Jacobian every step.
+    plan = getattr(system, "_plan", None)
+    linear_plan = plan if plan is not None and plan.linear_only and gmin == 0.0 else None
+    dt_s = eval_kwargs.get("dt_s")
+    integrator = eval_kwargs.get("integrator", "trapezoidal")
+
     reg_identity = (
         _DIAG_REGULARIZATION * sparse.identity(system.size, format="csr")
         if sparse.issparse(jacobian)
         else None
     )
-    for _ in range(_MAX_ITERATIONS):
-        if norm < _RESIDUAL_TOL:
-            return x, True
-        step = _newton_step(jacobian, residual, reg_identity)
+    converged = norm <= tolerance
+    while not converged and iterations < _MAX_ITERATIONS:
+        if linear_plan is not None:
+            step = linear_plan.linear_step(residual, dt_s, integrator)
+        else:
+            step = _newton_step(jacobian, residual, reg_identity)
         if step is None:
-            return x, False
+            break
+        iterations += 1
         # Backtracking line search on the residual norm.
         damping = 1.0
         for _ in range(30):
@@ -88,49 +118,36 @@ def newton_solve(
                 x_trial, source_scale=source_scale, gmin=gmin, **eval_kwargs
             )
             norm_trial = float(np.max(np.abs(residual_trial)))
-            if norm_trial < norm or norm_trial < _RESIDUAL_TOL:
+            if norm_trial < norm or norm_trial <= tolerance:
                 break
             damping *= 0.5
         else:
-            return x, False
+            break  # line search could not reduce the residual
         step_size = float(np.max(np.abs(damping * step)))
         x, residual, jacobian, norm = x_trial, residual_trial, jacobian_trial, norm_trial
-        if step_size < _STEP_TOL and norm < 1e-6:
-            return x, True
-    return x, norm < 1e-8
+        converged = norm <= tolerance
+        if step_size < _STEP_TOL:
+            break  # stalled; the unified test above has the last word
+    if report is not None:
+        report.record(stage, parameter, iterations, norm, converged)
+    return x, converged
 
 
 def solve_dc(
     system: MNASystem, x0: np.ndarray | None = None, **eval_kwargs
 ) -> np.ndarray:
-    """DC solution with homotopy fallbacks; raises CircuitError on failure."""
-    x0 = np.zeros(system.size) if x0 is None else np.array(x0, dtype=float)
+    """DC solution via the adaptive continuation ladder.
 
-    x, converged = newton_solve(system, x0, **eval_kwargs)
-    if converged:
-        return x
+    Delegates to :func:`repro.circuit.continuation.solve_dc_robust`
+    (structural seed -> Newton -> adaptive gmin -> adaptive source ramp
+    -> pseudo-transient).  Raises
+    :class:`~repro.circuit.continuation.ConvergenceError` — carrying the
+    full :class:`~repro.circuit.continuation.ConvergenceReport` — when
+    every strategy is exhausted.
+    """
+    from repro.circuit.continuation import ConvergenceError, solve_dc_robust
 
-    # gmin stepping
-    x_h = np.array(x0)
-    schedule = [10.0 ** (-k) for k in range(3, 13)]
-    ok = True
-    for gmin in schedule:
-        x_h, ok = newton_solve(system, x_h, gmin=gmin, **eval_kwargs)
-        if not ok:
-            break
-    if ok:
-        x_h, ok = newton_solve(system, x_h, gmin=0.0, **eval_kwargs)
-        if ok:
-            return x_h
-
-    # source stepping
-    x_h = np.zeros(system.size)
-    ok = True
-    for scale in np.linspace(0.1, 1.0, 10):
-        x_h, ok = newton_solve(system, x_h, source_scale=float(scale), **eval_kwargs)
-        if not ok:
-            break
-    if ok:
-        return x_h
-
-    raise CircuitError("DC solve failed: Newton, gmin and source stepping exhausted")
+    x, report = solve_dc_robust(system, x0, **eval_kwargs)
+    if not report.converged:
+        raise ConvergenceError("DC solve failed: continuation ladder exhausted", report)
+    return x

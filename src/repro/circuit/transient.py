@@ -13,6 +13,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.circuit.continuation import ConvergenceError, solve_dc_robust
 from repro.circuit.elements import VoltageSource
 from repro.circuit.netlist import Circuit, CircuitError
 from repro.circuit.solver import newton_solve, solve_dc
@@ -52,9 +53,12 @@ def transient(
 ) -> TransientResult:
     """Integrate the circuit from its t=0 operating point to ``t_stop_s``.
 
-    ``x0`` optionally seeds the initial DC solve — useful for circuits
-    (long inverter chains, latches) whose operating point the cold-start
-    homotopies cannot reach but a structural guess can.
+    The initial DC solve cold-starts through the adaptive continuation
+    ladder of :mod:`repro.circuit.continuation` (structural seeding,
+    adaptive gmin/source stepping, pseudo-transient fallback), so
+    ``x0`` is no longer needed for long FET chains; it remains as an
+    optional override for callers that want to select a particular
+    operating point of a multistable circuit.
     """
     if t_stop_s <= 0.0 or dt_s <= 0.0:
         raise CircuitError("t_stop and dt must be positive")
@@ -85,18 +89,25 @@ def transient(
             state=state,
         )
         if not converged:
-            # Retry from a homotopy-free DC-style solve of this timestep.
-            x_next, converged = newton_solve(
+            # Rescue the timestep through the adaptive continuation
+            # ladder, anchored at the last accepted solution (the
+            # companion model rides along in the eval kwargs).  The old
+            # silent retry-from-zeros could hand back a wrong-branch
+            # solution with no trace; now a failure raises with the
+            # full ladder history.
+            x_next, rescue = solve_dc_robust(
                 system,
-                np.zeros(system.size),
+                previous_x,
                 time_s=t,
                 dt_s=dt_s,
                 previous_x=previous_x,
                 integrator=integrator,
                 state=state,
             )
-        if not converged:
-            raise CircuitError(f"transient Newton failed at t = {t:.3e} s")
+            if not rescue.converged:
+                raise ConvergenceError(
+                    f"transient Newton failed at t = {t:.3e} s", rescue
+                )
         # Update trapezoidal history currents at the accepted solution.
         if integrator == "trapezoidal":
             system.update_capacitor_state(x_next, previous_x, dt_s, integrator, state)

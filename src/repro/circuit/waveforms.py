@@ -77,23 +77,29 @@ class Pulse:
 
 @dataclass(frozen=True)
 class PiecewiseLinear:
-    """Piecewise-linear waveform through (time, value) points."""
+    """Piecewise-linear waveform through (time, value) points.
+
+    The breakpoint times are extracted once at construction — ``value``
+    is called per transient evaluation, and rebuilding the time list on
+    every call dominated its cost.
+    """
 
     points: tuple[tuple[float, float], ...]
 
     def __post_init__(self) -> None:
         if len(self.points) < 1:
             raise ValueError("PWL needs at least one point")
-        times = [t for t, _ in self.points]
-        if times != sorted(times):
+        times = tuple(t for t, _ in self.points)
+        if any(t1 < t0 for t0, t1 in zip(times, times[1:])):
             raise ValueError("PWL times must be non-decreasing")
+        object.__setattr__(self, "_times", times)  # frozen dataclass
 
     @property
     def dc(self) -> float:
         return self.points[0][1]
 
     def value(self, time_s: float) -> float:
-        times = [t for t, _ in self.points]
+        times = self._times
         if time_s <= times[0]:
             return self.points[0][1]
         if time_s >= times[-1]:

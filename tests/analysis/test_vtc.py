@@ -60,6 +60,37 @@ class TestNonRegenerativeVTC:
         assert m.max_abs_gain == pytest.approx(0.8, rel=1e-6)
 
 
+class TestExactCrossing:
+    def test_sample_exactly_on_crossing(self):
+        # Grid point sits exactly at v_out = v_in: np.sign(diff) = 0 there.
+        v_in = np.linspace(0.0, 1.0, 5)
+        v_out = 1.0 - v_in  # crossing exactly at the 0.5 sample
+        m = analyze_vtc(v_in, v_out)
+        assert m.switching_threshold_v == pytest.approx(0.5)
+        assert np.isfinite(m.switching_threshold_v)
+
+    def test_consecutive_exact_samples(self):
+        v_in = np.array([0.0, 0.25, 0.5, 0.75, 1.0])
+        v_out = np.array([1.0, 0.25, 0.5, 0.25, 0.0])  # touches twice
+        m = analyze_vtc(v_in, v_out)
+        assert m.switching_threshold_v == pytest.approx(0.25)
+        assert np.isfinite(m.switching_threshold_v)
+
+    def test_identity_curve_is_finite(self):
+        # v_out = v_in everywhere: diff is identically zero.
+        v_in = np.linspace(0.0, 1.0, 7)
+        m = analyze_vtc(v_in, v_in.copy())
+        assert m.switching_threshold_v == pytest.approx(0.0)
+        assert np.isfinite(m.switching_threshold_v)
+
+    def test_interpolated_crossing_unchanged(self):
+        # Crossing between samples: the interpolation path still rules.
+        v_in = np.linspace(0.0, 1.0, 6)  # 0.5 is not a grid point
+        v_out = 1.0 - v_in
+        m = analyze_vtc(v_in, v_out)
+        assert m.switching_threshold_v == pytest.approx(0.5, abs=1e-12)
+
+
 class TestValidation:
     def test_mismatched_lengths(self):
         with pytest.raises(ValueError):

@@ -76,6 +76,23 @@ class TestPiecewiseLinear:
         wf = PiecewiseLinear(points=((0.0, 0.0), (1.0, 0.0), (1.0, 2.0), (2.0, 2.0)))
         assert wf.value(1.5) == 2.0
 
+    def test_times_precomputed_once(self):
+        # The breakpoint times are cached at construction; value() must
+        # read the cached tuple instead of rebuilding a list per call.
+        wf = PiecewiseLinear(points=((0.0, 0.0), (1.0, 2.0), (3.0, 1.0)))
+        assert wf._times == (0.0, 1.0, 3.0)
+        assert wf.value(2.0) == pytest.approx(1.5)
+        # value() must actually depend on the cache, not rebuild it.
+        object.__delattr__(wf, "_times")
+        with pytest.raises(AttributeError):
+            wf.value(2.0)
+
+    def test_single_point(self):
+        wf = PiecewiseLinear(points=((1.0, 4.0),))
+        assert wf.value(0.0) == 4.0
+        assert wf.value(2.0) == 4.0
+        assert wf.dc == 4.0
+
 
 class TestSine:
     def test_offset_and_amplitude(self):
