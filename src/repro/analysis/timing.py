@@ -12,14 +12,17 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.circuit.sweep import SweepPlan
 from repro.circuit.transient import TransientResult
 from repro.devices.base import FETModel
 
 __all__ = [
     "DelayMetrics",
+    "DelayCornerSweep",
     "propagation_delays",
     "supply_energy_j",
     "cv_over_i_delay_s",
+    "delay_corner_sweep",
     "intrinsic_energy_delay",
 ]
 
@@ -122,3 +125,54 @@ def intrinsic_energy_delay(
 ) -> tuple[float, float]:
     """(switching energy C V^2, CV/I delay) of a device-load stage."""
     return load_f * vdd * vdd, cv_over_i_delay_s(device, load_f, vdd)
+
+
+@dataclass(frozen=True)
+class DelayCornerSweep:
+    """CV/I delay and switching energy across device corners."""
+
+    labels: tuple[str, ...]
+    delays_s: np.ndarray
+    energies_j: np.ndarray
+
+    def worst_corner(self) -> tuple[str, float]:
+        """The slowest corner and its delay [s]."""
+        index = int(np.argmax(self.delays_s))
+        return self.labels[index], float(self.delays_s[index])
+
+    def spread(self) -> float:
+        """Max/min delay ratio across the corners."""
+        return float(self.delays_s.max() / self.delays_s.min())
+
+
+def _delay_corner_kernel(corner, rng, payload):
+    """(energy, delay) of one (label, device) corner."""
+    _label, device = corner
+    load_f, vdd = payload
+    return intrinsic_energy_delay(device, load_f, vdd)
+
+
+def delay_corner_sweep(
+    corners,
+    load_f: float,
+    vdd: float,
+    chunk_size: int | None = None,
+    workers: int | None = None,
+) -> DelayCornerSweep:
+    """First-order delay/energy at every device corner, via the sweep engine.
+
+    ``corners`` maps a label to a device model (slow/typical/fast
+    process corners, different technologies, ...); the corner loop
+    routes through :meth:`repro.circuit.sweep.SweepPlan.run` like every
+    other sweep-shaped analysis.
+    """
+    items = [(str(label), device) for label, device in dict(corners).items()]
+    if not items:
+        raise ValueError("need at least one corner")
+    sweep = SweepPlan(_delay_corner_kernel, payload=(load_f, vdd))
+    points = sweep.run(items, chunk_size=chunk_size, workers=workers)
+    return DelayCornerSweep(
+        labels=tuple(label for label, _ in items),
+        delays_s=np.array([p[1] for p in points]),
+        energies_j=np.array([p[0] for p in points]),
+    )

@@ -26,6 +26,15 @@ unknowns reuse preallocated dense buffers; larger systems assemble
 element-walking evaluator survives as ``MNASystem.evaluate_dense`` — the
 reference the equivalence test suite holds the compiled path to (1e-12)
 and the fallback for user-defined element types.
+
+Many-instance work goes through the batched sweep engine
+(:mod:`repro.circuit.sweep`): :class:`SweepPlan` chunks any
+sweep-shaped computation over deterministic seed substreams (optionally
+on a process pool), and :class:`CircuitMonteCarlo` solves N
+parameter-perturbed copies of one compiled circuit with stacked
+Jacobians, one batched ``linearize`` call per device group, and a
+batched LAPACK Newton step — the substrate for the paper's
+variability/yield statistics.
 """
 
 from repro.circuit.ac import ACResult, ac_analysis
@@ -44,6 +53,13 @@ from repro.circuit.cells import (
 )
 from repro.circuit.dc import OperatingPointResult, SweepResult, dc_sweep, operating_point
 from repro.circuit.netlist import Circuit, CircuitError
+from repro.circuit.sweep import (
+    CircuitMonteCarlo,
+    FETVariation,
+    MonteCarloResult,
+    SweepPlan,
+    SweepStatistics,
+)
 from repro.circuit.transient import TransientResult, transient
 from repro.circuit.waveforms import DC, PiecewiseLinear, Pulse, Sine
 
@@ -51,15 +67,20 @@ __all__ = [
     "ACResult",
     "Circuit",
     "CircuitError",
+    "CircuitMonteCarlo",
     "ConvergenceError",
     "ConvergenceReport",
     "DC",
+    "FETVariation",
     "InverterCell",
+    "MonteCarloResult",
     "OperatingPointResult",
     "PiecewiseLinear",
     "Pulse",
     "Sine",
+    "SweepPlan",
     "SweepResult",
+    "SweepStatistics",
     "TransientResult",
     "ac_analysis",
     "build_inverter",

@@ -90,7 +90,7 @@ class _FETGroup:
     """
 
     __slots__ = (
-        "device", "delta_v", "count", "sign",
+        "device", "delta_v", "count", "sign", "elements",
         "gather_dgs", "scatter_idx", "flat",
         "rows", "cols", "take", "_vals6", "_vals", "_scatter_vals",
     )
@@ -99,6 +99,9 @@ class _FETGroup:
         self.device = device
         self.delta_v = delta_v
         self.count = len(fets)
+        # The FET elements in batch order — the sweep engine maps its
+        # per-instance parameter columns onto group slots through this.
+        self.elements = tuple(fets)
         signs = np.array([_unwrap_polarity(f.device)[1] for f in fets])
         self.sign = None if np.all(signs == 1.0) else signs
         gather_d = np.array([pad(f.drain) for f in fets], dtype=np.intp)

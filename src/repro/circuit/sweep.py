@@ -1,0 +1,760 @@
+"""Batched sweep / Monte Carlo engine: many instances, one compiled plan.
+
+The integration story of the paper (yield, variability, array-scale
+statistics) needs the *same* computation repeated over many parameter-
+perturbed instances — 10,000-device arrays, purity sweeps, corner
+analyses, circuit Monte Carlo.  Before this module every such experiment
+re-solved its instances one at a time in a Python loop, ignoring the
+batched :meth:`repro.devices.base.FETModel.linearize` machinery the
+compiled stamp plan already exposes.  Two layers fix that:
+
+* :class:`SweepPlan` — a generic chunked map engine every sweep-shaped
+  consumer routes through.  It owns the execution policy (chunking, an
+  optional ``concurrent.futures`` process pool for large N) and the
+  randomness policy: deterministic substreams spawned from a single
+  seed via :class:`numpy.random.SeedSequence`, assigned to instances in
+  fixed-size *blocks* so results are bitwise identical across chunk
+  sizes, worker counts, and serial vs. pooled execution.
+* :class:`CircuitMonteCarlo` — the circuit-level engine.  It compiles a
+  circuit's stamp plan **once** and solves N parameter-perturbed
+  instances against the shared sparsity structure: stacked residuals
+  ``(m, size)`` and stacked dense Jacobians ``(m, size, size)``, with
+  every FET group's bias points across *all* instances batched into a
+  single ``linearize`` call and the Newton steps taken by one batched
+  LAPACK ``np.linalg.solve``.  Per-instance device-parameter arrays
+  (:class:`FETVariation`: drive-strength scale and threshold shift)
+  thread through the batched path without touching the device models.
+
+Perturbation semantics: for a FET with unwrapped base model ``I_n`` and
+polarity sign ``s`` (see ``assembly._unwrap_polarity``), instance ``i``
+evaluates ``drive_scale[i] * s * I_n(s*vgs - vth_shift[i], s*vds)`` —
+a multiplicative drive variation (tube count / mobility) plus a shift
+of the underlying n-type threshold, both of which preserve the shared
+sparsity structure and the batched linearize call.
+
+The batched path supports dense plans (``size <
+assembly.SPARSE_THRESHOLD``), which covers every seed circuit; sparse
+plans raise so callers fall back to per-instance loops explicitly.
+"""
+
+from __future__ import annotations
+
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from functools import lru_cache
+
+import numpy as np
+
+from repro.circuit.assembly import DIAG_REGULARIZATION, UnsupportedElement
+from repro.circuit.elements import FET, VoltageSource
+from repro.circuit.netlist import Circuit
+from repro.circuit.solver import (
+    _MAX_ITERATIONS,
+    _RESIDUAL_ATOL,
+    _RESIDUAL_RTOL,
+    _STEP_TOL,
+    solve_dc,
+)
+
+__all__ = [
+    "SweepPlan",
+    "FETVariation",
+    "CircuitMonteCarlo",
+    "MonteCarloResult",
+    "SweepStatistics",
+    "DEFAULT_SUBSTREAM_BLOCK",
+    "ensure_seed",
+    "lognormal_unit_mean",
+]
+
+# Instances per spawned random substream.  Randomness is tied to the
+# (instance index // block) position, never to the execution chunking,
+# so any chunk size / worker count replays the identical draws.
+DEFAULT_SUBSTREAM_BLOCK = 256
+
+# Default execution chunk (and therefore batch width) of the circuit
+# Monte Carlo engine: wide enough to amortize the per-Newton-iteration
+# Python overhead, small enough to keep the stacked Jacobians in cache.
+DEFAULT_CIRCUIT_CHUNK = 1024
+
+
+def _as_blocks(n: int, block: int) -> list[tuple[int, int]]:
+    """[start, stop) index ranges of consecutive instance blocks."""
+    return [(start, min(start + block, n)) for start in range(0, n, block)]
+
+
+def lognormal_unit_mean(rng: np.random.Generator, sigma: float, size) -> np.ndarray:
+    """Lognormal draws with mean 1 and *linear* coefficient of variation sigma.
+
+    The one parameterization shared by every variability model in the
+    package (tube on-currents, FET drive scales): ``log_sigma =
+    sqrt(log1p(sigma^2))`` with the mean-compensating ``-log_sigma^2/2``
+    shift, so multiplying a nominal value by a draw preserves its mean.
+    """
+    log_sigma = float(np.sqrt(np.log1p(sigma**2)))
+    return rng.lognormal(mean=-0.5 * log_sigma**2, sigma=log_sigma, size=size)
+
+
+def ensure_seed(seed: int | None) -> int:
+    """``seed`` unchanged, or fresh OS entropy when None.
+
+    Monte-Carlo consumers whose kernels require randomness call this so
+    an unseeded run still flows through the one-root-seed substream
+    scheme (and therefore still reproduces across chunking/pooling
+    within the run).
+    """
+    if seed is not None:
+        return seed
+    return int(np.random.SeedSequence().generate_state(1)[0])
+
+
+def _run_block(kernel, params, rng, payload):
+    """One vectorized-kernel invocation, normalised to a result list."""
+    out = kernel(params, rng, payload)
+    return list(out)
+
+
+def _run_chunk(spec):
+    """Execute one chunk of blocks (top-level so process pools can pickle it)."""
+    kernel, vectorized, payload, blocks = spec
+    results: list = []
+    for params, seed_seq in blocks:
+        rng = None if seed_seq is None else np.random.default_rng(seed_seq)
+        if vectorized:
+            results.extend(_run_block(kernel, params, rng, payload))
+        else:
+            results.append(kernel(params, rng, payload))
+    return results
+
+
+class SweepPlan:
+    """A compiled sweep: one kernel plus chunked, substreamed execution.
+
+    Parameters
+    ----------
+    kernel:
+        ``vectorized=False`` (default): called once per instance as
+        ``kernel(params_i, rng_i, payload)`` with a private
+        :class:`numpy.random.Generator` spawned for that instance (or
+        ``None`` when the run is unseeded).
+        ``vectorized=True``: called once per substream *block* as
+        ``kernel(params_block, rng_block, payload)`` and must return a
+        sequence with one entry per instance of the block.
+    vectorized:
+        Selects the kernel contract above.
+    payload:
+        Constant context handed to every kernel call; must pickle when
+        ``workers`` is used.
+    substream_block:
+        Instances per spawned substream in vectorized mode.  This is the
+        randomness *and* batching granularity: results are independent
+        of ``chunk_size``/``workers`` because kernels always see whole
+        blocks.
+
+    ``run`` executes the kernel over a parameter sequence and returns
+    the per-instance results in input order.
+    """
+
+    def __init__(
+        self,
+        kernel,
+        *,
+        vectorized: bool = False,
+        payload=None,
+        substream_block: int = DEFAULT_SUBSTREAM_BLOCK,
+    ):
+        if substream_block < 1:
+            raise ValueError(f"substream block must be >= 1, got {substream_block}")
+        self.kernel = kernel
+        self.vectorized = vectorized
+        self.payload = payload
+        self.substream_block = substream_block
+
+    def run(
+        self,
+        params,
+        *,
+        seed: int | None = None,
+        chunk_size: int | None = None,
+        workers: int | None = None,
+    ) -> list:
+        """Map the kernel over ``params``; results keep the input order.
+
+        ``seed`` (an int, or a pre-spawned
+        :class:`numpy.random.SeedSequence` when a caller derives several
+        independent sweeps from one user seed) derives one substream per
+        instance (scalar kernels) or per block (vectorized kernels) via
+        ``SeedSequence.spawn`` — the draws depend only on the instance
+        position, never on ``chunk_size`` or ``workers``.  ``workers`` >
+        1 dispatches whole chunks to a process pool (kernel, params and
+        payload must pickle).
+        """
+        params = list(params)
+        n = len(params)
+        if n == 0:
+            return []
+
+        root = None
+        if seed is not None:
+            root = (
+                seed
+                if isinstance(seed, np.random.SeedSequence)
+                else np.random.SeedSequence(seed)
+            )
+        if self.vectorized:
+            ranges = _as_blocks(n, self.substream_block)
+            seqs = root.spawn(len(ranges)) if root is not None else [None] * len(ranges)
+            blocks = [
+                (params[start:stop], seq) for (start, stop), seq in zip(ranges, seqs)
+            ]
+        else:
+            seqs = root.spawn(n) if root is not None else [None] * n
+            blocks = list(zip(params, seqs))
+
+        use_pool = workers is not None and workers > 1 and len(blocks) > 1
+        if chunk_size is None:
+            # Pooled runs need more than one chunk to parallelise: split
+            # the blocks evenly across the workers by default.
+            per_chunk = (
+                -(-len(blocks) // workers) if use_pool else len(blocks)
+            )
+        else:
+            if chunk_size < 1:
+                raise ValueError(f"chunk size must be >= 1, got {chunk_size}")
+            per_chunk = (
+                max(1, chunk_size // self.substream_block)
+                if self.vectorized
+                else chunk_size
+            )
+        chunks = [
+            blocks[i : i + per_chunk] for i in range(0, len(blocks), per_chunk)
+        ]
+
+        specs = [(self.kernel, self.vectorized, self.payload, chunk) for chunk in chunks]
+        if use_pool and len(specs) > 1:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                chunk_results = list(pool.map(_run_chunk, specs))
+        else:
+            chunk_results = [_run_chunk(spec) for spec in specs]
+        return [result for chunk in chunk_results for result in chunk]
+
+
+# ---------------------------------------------------------------------------
+# Circuit Monte Carlo: batched Newton over one compiled stamp plan.
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FETVariation:
+    """Per-instance, per-FET parameter perturbations for a circuit sweep.
+
+    ``drive_scale[i, j]`` multiplies FET ``j``'s current (and small-
+    signal conductances) in instance ``i`` — the tube-count / mobility
+    variability channel.  ``vth_shift_v[i, j]`` shifts the *underlying
+    n-type* model's threshold (a p-FET's shift is applied to its
+    mirrored base model).  Columns follow the circuit's FET element
+    order (``CircuitMonteCarlo.fet_names``).
+    """
+
+    drive_scale: np.ndarray
+    vth_shift_v: np.ndarray
+
+    def __post_init__(self) -> None:
+        scale = np.asarray(self.drive_scale, dtype=float)
+        shift = np.asarray(self.vth_shift_v, dtype=float)
+        if scale.ndim != 2 or shift.shape != scale.shape:
+            raise ValueError(
+                "drive_scale and vth_shift_v must share one (n_instances, n_fets) shape"
+            )
+        object.__setattr__(self, "drive_scale", scale)
+        object.__setattr__(self, "vth_shift_v", shift)
+
+    @property
+    def n_instances(self) -> int:
+        return self.drive_scale.shape[0]
+
+    @property
+    def n_fets(self) -> int:
+        return self.drive_scale.shape[1]
+
+    def take(self, indices) -> "FETVariation":
+        """Sub-variation at the given instance indices (order preserved)."""
+        return FETVariation(
+            drive_scale=self.drive_scale[indices],
+            vth_shift_v=self.vth_shift_v[indices],
+        )
+
+    @classmethod
+    def sample(
+        cls,
+        n_instances: int,
+        n_fets: int,
+        *,
+        seed: int,
+        drive_sigma: float = 0.1,
+        vth_sigma_v: float = 0.0,
+        substream_block: int = DEFAULT_SUBSTREAM_BLOCK,
+    ) -> "FETVariation":
+        """Draw a lognormal-drive / normal-threshold variation.
+
+        ``drive_sigma`` is the *linear* coefficient of variation: scales
+        are lognormal with unit mean and relative spread ``drive_sigma``
+        (same convention as
+        :class:`repro.integration.variability.CNFETArrayModel`).  Draws
+        come from per-block substreams, so the variation for instance
+        ``i`` depends only on ``(seed, i)`` — not on how a later sweep
+        is chunked or parallelised.
+        """
+        if n_instances < 1 or n_fets < 1:
+            raise ValueError("need at least one instance and one FET")
+        if drive_sigma < 0.0 or vth_sigma_v < 0.0:
+            raise ValueError("sigmas must be >= 0")
+        scale = np.empty((n_instances, n_fets))
+        shift = np.empty((n_instances, n_fets))
+        ranges = _as_blocks(n_instances, substream_block)
+        for (start, stop), seq in zip(
+            ranges, np.random.SeedSequence(seed).spawn(len(ranges))
+        ):
+            rng = np.random.default_rng(seq)
+            count = stop - start
+            if drive_sigma > 0.0:
+                scale[start:stop] = lognormal_unit_mean(
+                    rng, drive_sigma, (count, n_fets)
+                )
+            else:
+                scale[start:stop] = 1.0
+            if vth_sigma_v > 0.0:
+                shift[start:stop] = rng.normal(
+                    0.0, vth_sigma_v, size=(count, n_fets)
+                )
+            else:
+                shift[start:stop] = 0.0
+        return cls(drive_scale=scale, vth_shift_v=shift)
+
+    @classmethod
+    def nominal(cls, n_instances: int, n_fets: int) -> "FETVariation":
+        """The identity variation (all scales 1, all shifts 0)."""
+        return cls(
+            drive_scale=np.ones((n_instances, n_fets)),
+            vth_shift_v=np.zeros((n_instances, n_fets)),
+        )
+
+
+@dataclass(frozen=True)
+class SweepStatistics:
+    """Summary statistics of one scalar output across sweep instances."""
+
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    n_instances: int
+    n_converged: int
+
+
+@dataclass(frozen=True)
+class MonteCarloResult:
+    """Stacked DC solutions of a circuit Monte Carlo run."""
+
+    x: np.ndarray
+    converged: np.ndarray
+    node_index: dict[str, int]
+    branch_index: dict[str, int]
+
+    @property
+    def n_instances(self) -> int:
+        return self.x.shape[0]
+
+    @property
+    def n_converged(self) -> int:
+        return int(np.count_nonzero(self.converged))
+
+    def voltage(self, node: str) -> np.ndarray:
+        """Per-instance voltage trace of one node [V]."""
+        if node in ("0", "gnd", "GND", "ground"):
+            return np.zeros(self.n_instances)
+        try:
+            return self.x[:, self.node_index[node]]
+        except KeyError:
+            raise KeyError(f"unknown node {node!r}") from None
+
+    def source_current(self, name: str) -> np.ndarray:
+        """Per-instance branch current of one voltage source [A]."""
+        try:
+            return self.x[:, self.branch_index[name]]
+        except KeyError:
+            raise KeyError(f"unknown voltage source {name!r}") from None
+
+    def take_instance(self, i: int) -> tuple[np.ndarray, bool]:
+        """(solution row, converged flag) of one instance."""
+        return self.x[i], bool(self.converged[i])
+
+    def statistics(self, node: str) -> SweepStatistics:
+        """Converged-instance statistics of one node voltage."""
+        values = self.voltage(node)[self.converged]
+        if values.size == 0:
+            raise ValueError("no converged instances to summarise")
+        return SweepStatistics(
+            mean=float(values.mean()),
+            std=float(values.std()),
+            minimum=float(values.min()),
+            maximum=float(values.max()),
+            n_instances=self.n_instances,
+            n_converged=self.n_converged,
+        )
+
+
+def _concat_results(parts: list[MonteCarloResult]) -> MonteCarloResult:
+    first = parts[0]
+    return MonteCarloResult(
+        x=np.concatenate([p.x for p in parts], axis=0),
+        converged=np.concatenate([p.converged for p in parts]),
+        node_index=first.node_index,
+        branch_index=first.branch_index,
+    )
+
+
+@lru_cache(maxsize=4)
+def _engine_from_pickle(circuit_bytes: bytes) -> "CircuitMonteCarlo":
+    """Rebuild (and cache) an engine inside a pool worker process."""
+    return CircuitMonteCarlo(pickle.loads(circuit_bytes))
+
+
+def _circuit_chunk_kernel(params_block, rng, payload):
+    """SweepPlan kernel: solve one block of variation rows (pool-safe)."""
+    circuit_bytes, x0 = payload
+    engine = _engine_from_pickle(circuit_bytes)
+    scale = np.stack([row[0] for row in params_block])
+    shift = np.stack([row[1] for row in params_block])
+    result = engine._solve_chunk(
+        FETVariation(drive_scale=scale, vth_shift_v=shift), x0
+    )
+    return [result.take_instance(i) for i in range(result.n_instances)]
+
+
+class CircuitMonteCarlo:
+    """Solve N parameter-perturbed DC instances of one compiled circuit.
+
+    The stamp plan is compiled once; each chunk of instances is solved
+    by a batched damped Newton iteration sharing the plan's constant
+    linear matrix and FET-group index arrays.  Per-iteration work is
+    one ``linearize`` call per device-model group (over *all* active
+    instances' bias points at once) plus one batched LAPACK solve over
+    the stacked Jacobians.  Convergence is judged per instance with the
+    scalar solver's relative+absolute criterion; stragglers get a gmin
+    retry ladder, and anything still unconverged is reported as such in
+    :class:`MonteCarloResult` rather than raising.
+    """
+
+    def __init__(self, circuit: Circuit):
+        self.circuit = circuit
+        self.system = circuit.build_system()
+        plan = self.system._plan
+        if plan is None:
+            raise UnsupportedElement(
+                "circuit contains element types the stamp plan cannot compile"
+            )
+        if plan.use_sparse:
+            raise ValueError(
+                "batched Monte Carlo supports dense plans only "
+                f"(size {plan.size} >= sparse threshold); solve per instance instead"
+            )
+        self.plan = plan
+        self.fets = tuple(el for el in circuit.elements if isinstance(el, FET))
+        if not self.fets:
+            raise ValueError("circuit has no FETs to perturb")
+        self.fet_names = tuple(f.name for f in self.fets)
+        column = {id(f): j for j, f in enumerate(self.fets)}
+        self._group_cols = [
+            np.array([column[id(f)] for f in group.elements], dtype=np.intp)
+            for group in plan.fet_groups
+        ]
+        self.node_index = {
+            node: self.system.node_index(node) for node in circuit.node_names
+        }
+        self.branch_index = {
+            el.name: el.branch_index
+            for el in circuit.elements
+            if isinstance(el, VoltageSource)
+        }
+        self._x_nominal: np.ndarray | None = None
+        self._offset_cache: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+
+    # -- public API -------------------------------------------------------------
+    def nominal_solution(self) -> np.ndarray:
+        """The unperturbed DC solution (cached); seeds every instance."""
+        if self._x_nominal is None:
+            self._x_nominal = solve_dc(self.system)
+        return self._x_nominal
+
+    def run(
+        self,
+        variation: FETVariation | None = None,
+        *,
+        n_instances: int | None = None,
+        chunk_size: int | None = None,
+        workers: int | None = None,
+    ) -> MonteCarloResult:
+        """Solve all instances; returns stacked solutions in input order.
+
+        ``chunk_size`` is the batch width (defaults to
+        :data:`DEFAULT_CIRCUIT_CHUNK`); ``workers`` > 1 ships chunks to
+        a process pool (the circuit is pickled once, workers cache the
+        compiled engine).  Results are independent of instance order
+        and, to solver tolerance, of chunking and pooling — each
+        instance's Newton iteration is elementwise-independent of its
+        batch neighbours.
+        """
+        if variation is None:
+            if n_instances is None:
+                raise ValueError("give a variation or n_instances")
+            variation = FETVariation.nominal(n_instances, len(self.fets))
+        if variation.n_fets != len(self.fets):
+            raise ValueError(
+                f"variation has {variation.n_fets} FET columns, "
+                f"circuit has {len(self.fets)} FETs"
+            )
+        n = variation.n_instances
+        x0 = self.nominal_solution()
+        if chunk_size is None:
+            chunk_size = DEFAULT_CIRCUIT_CHUNK
+            if workers is not None and workers > 1:
+                # A pooled run needs at least one chunk per worker to
+                # parallelise at all.
+                chunk_size = min(chunk_size, -(-n // workers))
+
+        if workers is not None and workers > 1:
+            # Route chunk dispatch through the generic engine: the
+            # kernel rebuilds (and caches) this engine in each worker.
+            sweep = SweepPlan(
+                _circuit_chunk_kernel,
+                vectorized=True,
+                payload=(pickle.dumps(self.circuit), x0.copy()),
+                substream_block=chunk_size,
+            )
+            rows = list(zip(variation.drive_scale, variation.vth_shift_v))
+            per_instance = sweep.run(rows, chunk_size=chunk_size, workers=workers)
+            x = np.stack([row[0] for row in per_instance])
+            converged = np.array([row[1] for row in per_instance], dtype=bool)
+            return MonteCarloResult(
+                x=x,
+                converged=converged,
+                node_index=self.node_index,
+                branch_index=self.branch_index,
+            )
+
+        parts = [
+            self._solve_chunk(variation.take(slice(start, stop)), x0)
+            for start, stop in _as_blocks(n, chunk_size)
+        ]
+        return _concat_results(parts)
+
+    # -- batched evaluation -----------------------------------------------------
+    def _offsets(self, m: int) -> tuple[np.ndarray, np.ndarray]:
+        """Flat-index row offsets for padded-residual and Jacobian scatters."""
+        cached = self._offset_cache.get(m)
+        if cached is None:
+            size = self.plan.size
+            cached = (
+                np.arange(m, dtype=np.intp)[:, None] * (size + 1),
+                np.arange(m, dtype=np.intp)[:, None] * (size * size),
+            )
+            self._offset_cache[m] = cached
+        return cached
+
+    def _evaluate_batch(
+        self,
+        x: np.ndarray,
+        variation: FETVariation,
+        gmin: float = 0.0,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Stacked DC residuals (m, size) and Jacobians (m, size, size)."""
+        plan = self.plan
+        size = plan.size
+        m = x.shape[0]
+        row_pad, row_jac = self._offsets(m)
+
+        xpad = np.zeros((m, size + 1))
+        xpad[:, :size] = x
+        linear = plan._linear_system(None, "trapezoidal")
+
+        rpad = np.zeros((m, size + 1))
+        rpad[:, :size] = x @ linear.matrix.T
+        rflat = rpad.reshape(-1)
+        if plan.vsrc_branch.size:
+            levels = np.array([el.level(None) for el in plan.vsources])
+            rpad[:, plan.vsrc_branch] -= levels
+        if plan.isrc_p.size:
+            currents = np.array([el.level(None) for el in plan.isources])
+            np.add.at(rflat, row_pad + plan.isrc_p, currents)
+            np.add.at(rflat, row_pad + plan.isrc_n, -currents)
+
+        jac = np.empty((m, size, size))
+        jac[:] = linear.matrix
+        jflat = jac.reshape(-1)
+
+        for group, cols in zip(plan.fet_groups, self._group_cols):
+            v = xpad[:, group.gather_dgs]  # (m, 3, count)
+            vgs = v[:, 1] - v[:, 2]
+            vds = v[:, 0] - v[:, 2]
+            shift = variation.vth_shift_v[:, cols]
+            scale = variation.drive_scale[:, cols]
+            if group.sign is None:
+                current, gm, gds = group.device.linearize(
+                    vgs - shift, vds, group.delta_v
+                )
+            else:
+                current, gm, gds = group.device.linearize(
+                    group.sign * vgs - shift, group.sign * vds, group.delta_v
+                )
+                current = group.sign * current
+            current = current * scale
+            gm = gm * scale
+            gds = gds * scale
+
+            rvals = np.concatenate((current, -current), axis=1)  # (m, 2*count)
+            np.add.at(rflat, row_pad + group.scatter_idx, rvals)
+
+            vals6 = np.stack(
+                (gds, gm, -(gm + gds), -gds, -gm, gm + gds), axis=1
+            )  # (m, 6, count), entry order matching group.take
+            entries = vals6.reshape(m, 6 * group.count)[:, group.take]
+            np.add.at(jflat, row_jac + group.flat, entries)
+
+        residual = rpad[:, :size]
+        if gmin > 0.0:
+            n_nodes = plan.n_nodes
+            residual[:, :n_nodes] += gmin * x[:, :n_nodes]
+            diag = np.einsum("ijj->ij", jac)
+            diag[:, :n_nodes] += gmin
+        return residual, jac
+
+    # -- batched Newton ---------------------------------------------------------
+    def _newton_batch(
+        self,
+        x0: np.ndarray,
+        variation: FETVariation,
+        gmin: float = 0.0,
+        max_iterations: int = _MAX_ITERATIONS,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Damped Newton on every instance at once; returns (x, converged).
+
+        Per-instance semantics mirror :func:`repro.circuit.solver.
+        newton_solve`: one relative+absolute max-norm criterion, a
+        backtracking line search with per-instance damping, and a
+        step-stall exit.  Instances leave the active set as they
+        converge (or stall), so late iterations only pay for the
+        stragglers.
+        """
+        m = x0.shape[0]
+        x = x0.copy()
+        residual, jacobian = self._evaluate_batch(x, variation, gmin)
+        norm = np.abs(residual).max(axis=1)
+        tolerance = _RESIDUAL_ATOL + _RESIDUAL_RTOL * norm
+        converged = norm <= tolerance
+        active = np.flatnonzero(~converged)
+        iterations = 0
+
+        while active.size and iterations < max_iterations:
+            iterations += 1
+            jac_active = jacobian[active]  # copy — safe to regularize in place
+            diag = np.einsum("ijj->ij", jac_active)
+            diag += DIAG_REGULARIZATION
+            try:
+                # RHS as (k, size, 1) column matrices: the batched-solve
+                # gufunc otherwise misreads a (k, size) stack as one matrix.
+                step = np.linalg.solve(jac_active, -residual[active, :, None])[..., 0]
+            except np.linalg.LinAlgError:
+                step, dead = self._solve_rows(jac_active, -residual[active])
+                if dead.size:
+                    # Singular instances leave the active set unconverged.
+                    active = np.delete(active, dead)
+                    step = np.delete(step, dead, axis=0)
+                    if not active.size:
+                        break
+            bad = ~np.all(np.isfinite(step), axis=1)
+            if bad.any():
+                active = active[~bad]
+                step = step[~bad]
+                if not active.size:
+                    break
+
+            # Vectorised backtracking line search with per-instance damping.
+            damping = np.ones(active.size)
+            accepted = np.zeros(active.size, dtype=bool)
+            pending = np.arange(active.size)
+            for _ in range(30):
+                rows = active[pending]
+                x_trial = x[rows] + damping[pending, None] * step[pending]
+                r_trial, j_trial = self._evaluate_batch(
+                    x_trial, variation.take(rows), gmin
+                )
+                n_trial = np.abs(r_trial).max(axis=1)
+                ok = (n_trial < norm[rows]) | (n_trial <= tolerance[rows])
+                take = pending[ok]
+                if take.size:
+                    sel = active[take]
+                    x[sel] = x_trial[ok]
+                    residual[sel] = r_trial[ok]
+                    jacobian[sel] = j_trial[ok]
+                    norm[sel] = n_trial[ok]
+                    accepted[take] = True
+                pending = pending[~ok]
+                if not pending.size:
+                    break
+                damping[pending] *= 0.5
+
+            moved = np.flatnonzero(accepted)
+            step_size = np.zeros(active.size)
+            step_size[moved] = np.abs(
+                damping[moved, None] * step[moved]
+            ).max(axis=1)
+            converged[active] = norm[active] <= tolerance[active]
+            # Stay active only if: the line search moved, we haven't
+            # converged, and the step hasn't stalled below _STEP_TOL.
+            keep = accepted & ~converged[active] & (step_size >= _STEP_TOL)
+            active = active[keep]
+        return x, converged
+
+    @staticmethod
+    def _solve_rows(jacobians: np.ndarray, rhs: np.ndarray):
+        """Row-by-row fallback when the batched solve hits a singular matrix."""
+        steps = np.zeros_like(rhs)
+        dead: list[int] = []
+        for i in range(jacobians.shape[0]):
+            try:
+                steps[i] = np.linalg.solve(jacobians[i], rhs[i])
+            except np.linalg.LinAlgError:
+                dead.append(i)
+        return steps, np.array(dead, dtype=np.intp)
+
+    def _solve_chunk(
+        self, variation: FETVariation, x0: np.ndarray
+    ) -> MonteCarloResult:
+        """Batched Newton from the nominal seed, with a gmin rescue ladder."""
+        m = variation.n_instances
+        x_start = np.tile(x0, (m, 1))
+        x, converged = self._newton_batch(x_start, variation)
+
+        if not converged.all():
+            # Rescue ladder: walk the stragglers down a gmin staircase
+            # (same spirit as continuation's adaptive stepping, fixed
+            # schedule — only ever runs on the few failed instances).
+            failed = np.flatnonzero(~converged)
+            sub = variation.take(failed)
+            x_fail = np.tile(x0, (failed.size, 1))
+            for gmin in (1e-2, 1e-4, 1e-6, 1e-8, 1e-10, 0.0):
+                x_fail, stage_ok = self._newton_batch(x_fail, sub, gmin=gmin)
+            # Only the final unshunted stage decides: its entry point is
+            # already near the solution, so the relative criterion is
+            # meaningful there.
+            x[failed[stage_ok]] = x_fail[stage_ok]
+            converged[failed[stage_ok]] = True
+
+        return MonteCarloResult(
+            x=x,
+            converged=converged,
+            node_index=self.node_index,
+            branch_index=self.branch_index,
+        )

@@ -20,6 +20,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.circuit.sweep import SweepPlan
 from repro.devices.cntfet import CNTFET
 from repro.devices.contacts import ContactModel
 from repro.devices.tfet import CNTTunnelFET
@@ -60,6 +61,16 @@ class DarkSpaceAblation:
         return float(self.ss_by_material[material][idx] / self.ss_by_material["CNT"][idx])
 
 
+def _dark_space_kernel(corner, rng, payload):
+    """SS-vs-L trace of one (material, geometry) corner."""
+    material, geometry = corner
+    lengths, physical_eot_nm = payload
+    lam = scale_length_nm(material, physical_eot_nm, geometry=geometry)
+    return material.name, np.array(
+        [subthreshold_swing_mv_per_decade(float(l), lam) for l in lengths]
+    )
+
+
 def run_dark_space_ablation(
     gate_lengths_nm=(7.0, 9.0, 12.0, 16.0, 22.0, 30.0), physical_eot_nm: float = 0.7
 ) -> DarkSpaceAblation:
@@ -72,12 +83,8 @@ def run_dark_space_ablation(
         (INAS, "double-gate"),
         (CNT_CHANNEL, "gaa"),
     ]
-    ss: dict[str, np.ndarray] = {}
-    for material, geometry in materials:
-        lam = scale_length_nm(material, physical_eot_nm, geometry=geometry)
-        ss[material.name] = np.array(
-            [subthreshold_swing_mv_per_decade(float(l), lam) for l in lengths]
-        )
+    sweep = SweepPlan(_dark_space_kernel, payload=(lengths, physical_eot_nm))
+    ss = dict(sweep.run(materials))
     return DarkSpaceAblation(gate_lengths_nm=lengths, ss_by_material=ss)
 
 
@@ -90,21 +97,23 @@ class BallisticityAblation:
     on_current_a: np.ndarray
 
 
+def _ballisticity_kernel(length, rng, chirality):
+    """(transmission, on-current) of a CNT-FET at one channel length."""
+    device = CNTFET(chirality, channel_length_nm=float(length))
+    return device.transmission, device.current(0.6, 0.5)
+
+
 def run_ballisticity_ablation(
     channel_lengths_nm=(9.0, 20.0, 50.0, 100.0, 300.0, 1000.0)
 ) -> BallisticityAblation:
     """CNT-FET on-current degradation with channel length."""
     lengths = np.asarray(channel_lengths_nm, dtype=float)
-    chirality = chirality_for_gap(0.56)
-    transmissions, currents = [], []
-    for length in lengths:
-        device = CNTFET(chirality, channel_length_nm=float(length))
-        transmissions.append(device.transmission)
-        currents.append(device.current(0.6, 0.5))
+    sweep = SweepPlan(_ballisticity_kernel, payload=chirality_for_gap(0.56))
+    points = sweep.run(lengths)
     return BallisticityAblation(
         channel_lengths_nm=lengths,
-        transmission=np.array(transmissions),
-        on_current_a=np.array(currents),
+        transmission=np.array([p[0] for p in points]),
+        on_current_a=np.array([p[1] for p in points]),
     )
 
 
@@ -120,15 +129,18 @@ class ContactLengthAblation:
         return float(self.series_resistance_ohm[-1])
 
 
+def _contact_kernel(length, rng, model):
+    """Series resistance of one contact length."""
+    return model.device_series_resistance_ohm(float(length))
+
+
 def run_contact_length_ablation(
     contact_lengths_nm=(5.0, 10.0, 20.0, 40.0, 80.0, 160.0, 320.0, 640.0)
 ) -> ContactLengthAblation:
     """Sweep the transfer-length contact model (Ref. [16] behaviour)."""
     lengths = np.asarray(contact_lengths_nm, dtype=float)
-    model = ContactModel()
-    resistance = np.array(
-        [model.device_series_resistance_ohm(float(l)) for l in lengths]
-    )
+    sweep = SweepPlan(_contact_kernel, payload=ContactModel())
+    resistance = np.array(sweep.run(lengths))
     return ContactLengthAblation(
         contact_lengths_nm=lengths, series_resistance_ohm=resistance
     )
@@ -144,6 +156,16 @@ class TFETOxideAblation:
     screening_length_nm: np.ndarray
 
 
+def _tfet_oxide_kernel(t_ox, rng, chirality):
+    """(SS, on-current, screening length) of the TFET at one oxide thickness."""
+    device = CNTTunnelFET(chirality, t_ox_nm=float(t_ox))
+    return (
+        device.subthreshold_swing_mv_per_decade(),
+        abs(device.current(-2.0, -0.5)),
+        device.screening_length_nm,
+    )
+
+
 def run_tfet_oxide_ablation(t_ox_values_nm=(2.0, 5.0, 10.0, 20.0)) -> TFETOxideAblation:
     """Thinner oxide -> shorter screening length -> more on-current.
 
@@ -151,16 +173,11 @@ def run_tfet_oxide_ablation(t_ox_values_nm=(2.0, 5.0, 10.0, 20.0)) -> TFETOxideA
     ("implementing high-k dielectrics and segmented gates").
     """
     thicknesses = np.asarray(t_ox_values_nm, dtype=float)
-    chirality = chirality_for_gap(0.56)
-    ss_values, currents, lambdas = [], [], []
-    for t_ox in thicknesses:
-        device = CNTTunnelFET(chirality, t_ox_nm=float(t_ox))
-        ss_values.append(device.subthreshold_swing_mv_per_decade())
-        currents.append(abs(device.current(-2.0, -0.5)))
-        lambdas.append(device.screening_length_nm)
+    sweep = SweepPlan(_tfet_oxide_kernel, payload=chirality_for_gap(0.56))
+    points = sweep.run(thicknesses)
     return TFETOxideAblation(
         t_ox_nm=thicknesses,
-        ss_mv_per_decade=np.array(ss_values),
-        on_current_a=np.array(currents),
-        screening_length_nm=np.array(lambdas),
+        ss_mv_per_decade=np.array([p[0] for p in points]),
+        on_current_a=np.array([p[1] for p in points]),
+        screening_length_nm=np.array([p[2] for p in points]),
     )

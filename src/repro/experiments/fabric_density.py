@@ -20,6 +20,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.circuit.sweep import SweepPlan, ensure_seed
 from repro.devices.fabric import sample_fabric
 from repro.devices.reference import trigate_intel_22nm
 from repro.integration.growth import GrowthDistribution
@@ -82,41 +83,56 @@ class FabricDensityResult:
         return out
 
 
+def _pitch_density_kernel(pitch, rng, payload):
+    """Drive density [mA/um] of a pure fabric sampled at one pitch."""
+    fabric = sample_fabric(
+        width_um=FABRIC_WIDTH_UM,
+        pitch_nm=float(pitch),
+        semiconducting_purity=1.0,
+        growth=SORTED_GROWTH,
+        rng=rng,
+    )
+    return fabric.current_density_a_per_m(VDD, VDD) * 1e-3  # A/m -> mA/um
+
+
+def _purity_on_off_kernel(corner, rng, payload):
+    """Clamped on/off ratio of one fabric sample at one purity."""
+    purity, _sample_index = corner
+    fabric = sample_fabric(
+        width_um=FABRIC_WIDTH_UM,
+        pitch_nm=8.0,
+        semiconducting_purity=float(purity),
+        growth=SORTED_GROWTH,
+        rng=rng,
+    )
+    return min(fabric.on_off_ratio(VDD), 1e12)
+
+
 def run_fabric_density(
     pitches_nm=(4.0, 8.0, 16.0, 32.0, 64.0),
     purities=(0.9, 0.99, 0.999, 0.9999, 1.0),
     n_samples: int = 7,
     seed: int = 77,
 ) -> FabricDensityResult:
-    """Sweep placement pitch and semiconducting purity of fabrics."""
-    rng = np.random.default_rng(seed)
+    """Sweep placement pitch and semiconducting purity of fabrics.
 
-    densities = []
-    for pitch in pitches_nm:
-        fabric = sample_fabric(
-            width_um=FABRIC_WIDTH_UM,
-            pitch_nm=float(pitch),
-            semiconducting_purity=1.0,
-            growth=SORTED_GROWTH,
-            rng=rng,
-        )
-        densities.append(
-            fabric.current_density_a_per_m(VDD, VDD) * 1e-3  # A/m -> mA/um
-        )
+    Both sweeps route through the sweep engine with one substream per
+    sampled fabric, spawned from the single ``seed`` — so a fabric's
+    draw depends only on its (sweep, position), not on how the grid is
+    chunked or which other points are swept alongside it.
+    """
+    pitch_root, purity_root = np.random.SeedSequence(ensure_seed(seed)).spawn(2)
 
-    median_on_off = []
-    for purity in purities:
-        ratios = []
-        for _ in range(n_samples):
-            fabric = sample_fabric(
-                width_um=FABRIC_WIDTH_UM,
-                pitch_nm=8.0,
-                semiconducting_purity=float(purity),
-                growth=SORTED_GROWTH,
-                rng=rng,
-            )
-            ratios.append(min(fabric.on_off_ratio(VDD), 1e12))
-        median_on_off.append(float(np.median(ratios)))
+    densities = SweepPlan(_pitch_density_kernel).run(pitches_nm, seed=pitch_root)
+
+    corners = [
+        (float(purity), sample) for purity in purities for sample in range(n_samples)
+    ]
+    ratios = SweepPlan(_purity_on_off_kernel).run(corners, seed=purity_root)
+    median_on_off = [
+        float(np.median(ratios[i : i + n_samples]))
+        for i in range(0, len(corners), n_samples)
+    ]
 
     trigate = trigate_intel_22nm()
     trigate_density = trigate.current_density_a_per_m(VDD, VDD) * 1e-3

@@ -12,21 +12,38 @@ discussion:
 * the Shulaker one-bit computer's yield versus purity, with and without
   metallic-CNT removal, plus the *functional* yield measured by actually
   running the counting and sorting programs on fault-injected gate-level
-  hardware.
+  hardware;
+* the same tube statistics pushed down to circuit level: a batched
+  inverter Monte Carlo (:class:`repro.circuit.sweep.CircuitMonteCarlo`)
+  measures how the array's on-current spread widens the mid-swing
+  output distribution of a logic stage.
+
+Every Monte Carlo here runs through the batched sweep engine, so the
+whole pipeline is reproducible from the single ``seed`` regardless of
+chunking or process-pool execution, and ``workers`` parallelises the
+Python-heavy functional-yield trials.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
+from repro.circuit.cells import build_inverter
+from repro.circuit.sweep import CircuitMonteCarlo, FETVariation
+from repro.circuit.waveforms import DC
+from repro.devices.empirical import AlphaPowerFET
 from repro.integration.growth import GrowthDistribution
 from repro.integration.placement import AlignedGrowth, TrenchDeposition
 from repro.integration.sorting import GEL_CHROMATOGRAPHY, passes_to_reach_purity
-from repro.integration.variability import ArraySpec, CNFETArrayModel
+from repro.integration.variability import ArrayResult, ArraySpec, CNFETArrayModel
 from repro.integration.yields import GateYieldModel, shulaker_computer_yield
 from repro.logic.faults import functional_yield
 
-__all__ = ["IntegrationResult", "run_integration_stats"]
+__all__ = ["IntegrationResult", "run_integration_stats", "inverter_variability_sigma_v"]
+
+VDD = 1.0
 
 
 @dataclass(frozen=True)
@@ -43,6 +60,7 @@ class IntegrationResult:
     computer_yield_no_removal: float
     computer_yield_with_removal: float
     functional_yield_mc: float
+    inverter_vm_sigma_mv: float
 
     def rows(self) -> list[tuple[str, float]]:
         return [
@@ -56,13 +74,90 @@ class IntegrationResult:
             ("178-FET computer yield, no removal", self.computer_yield_no_removal),
             ("178-FET computer yield, with VMR", self.computer_yield_with_removal),
             ("functional yield (program MC)", self.functional_yield_mc),
+            ("inverter V_M sigma [mV]", self.inverter_vm_sigma_mv),
         ]
+
+
+def _array_drive_sigma(array: ArrayResult) -> float:
+    """Relative on-current spread of the conducting devices.
+
+    This is the drive-strength coefficient of variation the array
+    statistics predict for a logic transistor built from the same
+    material; clipped to keep the lognormal drive model well-posed.
+    """
+    on = array.on_currents_a()
+    conducting = on[on > 0.0]
+    if conducting.size < 2:
+        return 0.0
+    return float(min(conducting.std() / conducting.mean(), 0.5))
+
+
+def inverter_variability_sigma_v(
+    drive_sigma: float,
+    n_instances: int = 256,
+    seed: int = 0,
+    vdd: float = VDD,
+    n_levels: int = 13,
+    chunk_size: int | None = None,
+) -> float:
+    """Std-dev [V] of an inverter's switching threshold under drive spread.
+
+    For each input level of a ladder around ``vdd/2``, all
+    ``n_instances`` drive-perturbed inverter copies are solved in one
+    batched :class:`~repro.circuit.sweep.CircuitMonteCarlo` run; each
+    instance's switching threshold ``V_M`` (where ``v_out = v_in``) is
+    then interpolated from its own transfer-curve samples.  The spread
+    of ``V_M`` is the noise-margin erosion the paper's tube statistics
+    imply for a logic stage.
+    """
+    levels = np.linspace(0.25 * vdd, 0.75 * vdd, n_levels)
+    outputs = np.empty((n_levels, n_instances))
+    solved = np.ones(n_instances, dtype=bool)
+    variation = None
+    for row, level in enumerate(levels):
+        cell = build_inverter(
+            AlphaPowerFET(), vdd=vdd, input_waveform=DC(float(level))
+        )
+        engine = CircuitMonteCarlo(cell.circuit)
+        if variation is None:
+            # One draw shared by every level: instance i is the *same*
+            # fabricated inverter all along its transfer curve.
+            variation = FETVariation.sample(
+                n_instances, len(engine.fet_names), seed=seed, drive_sigma=drive_sigma
+            )
+        result = engine.run(variation, chunk_size=chunk_size)
+        outputs[row] = result.voltage(cell.output_node)
+        solved &= result.converged
+
+    # Only instances whose whole transfer-curve ladder converged enter
+    # the statistics — an unconverged iterate is not a voltage.
+    if not solved.any():
+        raise RuntimeError("no instance converged at every input level")
+    outputs = outputs[:, solved]
+    n_instances = int(np.count_nonzero(solved))
+
+    # v_out - v_in is decreasing along the ladder: one sign change per
+    # instance brackets its V_M; interpolate linearly inside the bracket.
+    diff = outputs - levels[:, None]
+    below = diff < 0.0
+    first = np.argmax(below, axis=0)
+    bracketed = below.any(axis=0) & (first > 0)
+    v_m = np.where(below[0], levels[0], levels[-1]) * np.ones(n_instances)
+    idx = first[bracketed]
+    d_hi = diff[idx, bracketed]
+    d_lo = diff[idx - 1, bracketed]
+    t = d_lo / (d_lo - d_hi)
+    v_m[bracketed] = levels[idx - 1] + t * (levels[idx] - levels[idx - 1])
+    return float(v_m.std())
 
 
 def run_integration_stats(
     n_array_devices: int = 10000,
     n_functional_trials: int = 120,
     seed: int = 20140312,
+    n_circuit_instances: int = 256,
+    chunk_size: int | None = None,
+    workers: int | None = None,
 ) -> IntegrationResult:
     """Run the full Section V statistical pipeline."""
     growth = GrowthDistribution()
@@ -76,7 +171,13 @@ def run_integration_stats(
     array = CNFETArrayModel(
         semiconducting_purity=sorting.purity,
         mean_tubes_per_device=trench.mean_tubes_per_site,
-    ).sample_array(n_array_devices, spec=ArraySpec(), seed=seed)
+    ).sample_array(
+        n_array_devices,
+        spec=ArraySpec(),
+        seed=seed,
+        chunk_size=chunk_size,
+        workers=workers,
+    )
 
     no_removal = shulaker_computer_yield(
         semiconducting_purity=sorting.purity, removal_efficiency=0.0
@@ -90,7 +191,20 @@ def run_integration_stats(
         tubes_per_gate=10.0,
         removal_efficiency=0.999,
     )
-    functional = functional_yield(gate_model, n_trials=n_functional_trials, seed=seed)
+    functional = functional_yield(
+        gate_model,
+        n_trials=n_functional_trials,
+        seed=seed,
+        chunk_size=chunk_size,
+        workers=workers,
+    )
+
+    sigma_v = inverter_variability_sigma_v(
+        _array_drive_sigma(array),
+        n_instances=n_circuit_instances,
+        seed=seed,
+        chunk_size=chunk_size,
+    )
 
     return IntegrationResult(
         semiconducting_fraction=semi_fraction,
@@ -103,4 +217,5 @@ def run_integration_stats(
         computer_yield_no_removal=no_removal.circuit_yield,
         computer_yield_with_removal=with_removal.circuit_yield,
         functional_yield_mc=functional.functional_yield,
+        inverter_vm_sigma_mv=sigma_v * 1e3,
     )

@@ -9,6 +9,14 @@ diameter-dependent on-current, and metallic tubes short the channel with
 a gate-independent ohmic conductance.  Aggregating over tubes yields the
 device-level I_on, I_off and on/off-ratio distributions, and the pass
 fraction against a spec.
+
+Sampling runs through the batched sweep engine
+(:class:`repro.circuit.sweep.SweepPlan`): devices are drawn in
+vectorised blocks, each block from its own substream spawned from the
+single user seed, so an array is reproducible seed-for-seed regardless
+of chunk size, worker count, or serial vs. process-pool execution.  The
+scalar :meth:`CNFETArrayModel.sample_device` survives as the one-device
+reference implementation of the same distributions.
 """
 
 from __future__ import annotations
@@ -17,6 +25,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.circuit.sweep import SweepPlan, ensure_seed, lognormal_unit_mean
 from repro.physics.constants import CNT_QUANTUM_RESISTANCE_OHM
 
 __all__ = ["ArraySpec", "DeviceSample", "ArrayResult", "CNFETArrayModel"]
@@ -52,41 +61,131 @@ class DeviceSample:
         return self.n_metallic > 0
 
 
-@dataclass(frozen=True)
 class ArrayResult:
-    """Aggregate statistics of a synthesized array."""
+    """Aggregate statistics of a synthesized array.
 
-    devices: tuple[DeviceSample, ...]
-    spec: ArraySpec
+    Array-backed: the four per-device columns (tube count, metallic
+    count, on/off currents) are the storage, so every statistic below is
+    one vectorised pass even for Park-scale arrays.  The ``devices``
+    tuple of :class:`DeviceSample` objects is materialised lazily for
+    callers that want per-device records.  An empty array (``n_devices
+    == 0``) is a valid result whose fractions are all 0.0.
+    """
+
+    def __init__(
+        self,
+        devices: tuple[DeviceSample, ...] | None = None,
+        spec: ArraySpec | None = None,
+        *,
+        n_tubes: np.ndarray | None = None,
+        n_metallic: np.ndarray | None = None,
+        i_on_a: np.ndarray | None = None,
+        i_off_a: np.ndarray | None = None,
+    ):
+        self.spec = spec or ArraySpec()
+        if devices is not None:
+            self._devices: tuple[DeviceSample, ...] | None = tuple(devices)
+            self._n_tubes = np.array([d.n_tubes for d in self._devices], dtype=np.intp)
+            self._n_metallic = np.array(
+                [d.n_metallic for d in self._devices], dtype=np.intp
+            )
+            self._i_on = np.array([d.i_on_a for d in self._devices], dtype=float)
+            self._i_off = np.array([d.i_off_a for d in self._devices], dtype=float)
+        else:
+            if n_tubes is None or n_metallic is None or i_on_a is None or i_off_a is None:
+                raise ValueError("give either devices or all four column arrays")
+            self._devices = None
+            self._n_tubes = np.asarray(n_tubes, dtype=np.intp)
+            self._n_metallic = np.asarray(n_metallic, dtype=np.intp)
+            self._i_on = np.asarray(i_on_a, dtype=float)
+            self._i_off = np.asarray(i_off_a, dtype=float)
+            lengths = {
+                arr.shape for arr in (self._n_tubes, self._n_metallic, self._i_on, self._i_off)
+            }
+            if len(lengths) != 1 or self._n_tubes.ndim != 1:
+                raise ValueError("column arrays must share one 1-D shape")
+
+    @property
+    def devices(self) -> tuple[DeviceSample, ...]:
+        if self._devices is None:
+            self._devices = tuple(
+                DeviceSample(
+                    n_tubes=int(t), n_metallic=int(m), i_on_a=float(on), i_off_a=float(off)
+                )
+                for t, m, on, off in zip(
+                    self._n_tubes, self._n_metallic, self._i_on, self._i_off
+                )
+            )
+        return self._devices
 
     @property
     def n_devices(self) -> int:
-        return len(self.devices)
+        return int(self._n_tubes.size)
 
     @property
     def open_fraction(self) -> float:
-        return sum(d.is_open for d in self.devices) / self.n_devices
+        """Fraction of devices with no tube at all (0.0 for an empty array)."""
+        if self.n_devices == 0:
+            return 0.0
+        return float(np.count_nonzero(self._n_tubes == 0) / self.n_devices)
 
     @property
     def shorted_fraction(self) -> float:
-        return sum(d.is_shorted for d in self.devices) / self.n_devices
+        """Fraction of devices with >= 1 metallic tube (0.0 for an empty array)."""
+        if self.n_devices == 0:
+            return 0.0
+        return float(np.count_nonzero(self._n_metallic > 0) / self.n_devices)
 
     @property
     def pass_fraction(self) -> float:
-        return sum(self._passes(d) for d in self.devices) / self.n_devices
+        """Fraction meeting the spec (0.0 for an empty array)."""
+        if self.n_devices == 0:
+            return 0.0
+        return float(np.count_nonzero(self._pass_mask()) / self.n_devices)
 
-    def _passes(self, device: DeviceSample) -> bool:
+    def _pass_mask(self) -> np.ndarray:
         return (
-            not device.is_open
-            and device.i_on_a >= self.spec.min_on_current_a
-            and device.on_off_ratio >= self.spec.min_on_off_ratio
+            (self._n_tubes > 0)
+            & (self._i_on >= self.spec.min_on_current_a)
+            & (self.on_off_ratios() >= self.spec.min_on_off_ratio)
         )
 
     def on_currents_a(self) -> np.ndarray:
-        return np.array([d.i_on_a for d in self.devices])
+        return self._i_on.copy()
 
     def on_off_ratios(self) -> np.ndarray:
-        return np.array([d.on_off_ratio for d in self.devices])
+        with np.errstate(divide="ignore", invalid="ignore"):
+            return np.where(self._i_off > 0.0, self._i_on / self._i_off, np.inf)
+
+
+def _sample_block(params_block, rng, model: "CNFETArrayModel"):
+    """Vectorised block kernel: draw ``len(params_block)`` devices at once.
+
+    Returns one ``(n_tubes, n_metallic, i_on, i_off)`` row per device.
+    Per-tube lognormal draws are flattened across the block and summed
+    back per device with a cumulative-sum segment reduction.
+    """
+    count = len(params_block)
+    n_tubes = rng.poisson(model.mean_tubes_per_device, size=count)
+    n_metallic = rng.binomial(n_tubes, 1.0 - model.semiconducting_purity)
+    n_semi = n_tubes - n_metallic
+
+    sigma = max(model.on_current_sigma_fraction, 1e-9)
+    draws = model.mean_on_current_per_tube_a * lognormal_unit_mean(
+        rng, sigma, int(n_semi.sum())
+    )
+    ends = np.cumsum(n_semi)
+    csum = np.concatenate(([0.0], np.cumsum(draws)))
+    i_semi_on = csum[ends] - csum[ends - n_semi]
+    i_semi_off = n_semi * model.semiconducting_off_current_a
+
+    i_metal = n_metallic * (model.read_voltage_v / model.metallic_resistance_ohm)
+    rows = np.empty((count, 4))
+    rows[:, 0] = n_tubes
+    rows[:, 1] = n_metallic
+    rows[:, 2] = i_semi_on + i_metal
+    rows[:, 3] = i_semi_off + i_metal
+    return rows
 
 
 class CNFETArrayModel:
@@ -137,6 +236,7 @@ class CNFETArrayModel:
         self.read_voltage_v = read_voltage_v
 
     def sample_device(self, rng: np.random.Generator) -> DeviceSample:
+        """Draw one device — the scalar reference for :func:`_sample_block`."""
         n_tubes = int(rng.poisson(self.mean_tubes_per_device))
         if n_tubes == 0:
             return DeviceSample(n_tubes=0, n_metallic=0, i_on_a=0.0, i_off_a=0.0)
@@ -144,11 +244,8 @@ class CNFETArrayModel:
         n_semi = n_tubes - n_metallic
         if n_semi > 0:
             sigma = max(self.on_current_sigma_fraction, 1e-9)
-            log_sigma = np.sqrt(np.log1p(sigma**2))
-            draws = rng.lognormal(
-                mean=np.log(self.mean_on_current_per_tube_a) - log_sigma**2 / 2.0,
-                sigma=log_sigma,
-                size=n_semi,
+            draws = self.mean_on_current_per_tube_a * lognormal_unit_mean(
+                rng, sigma, n_semi
             )
             i_semi_on = float(draws.sum())
             i_semi_off = n_semi * self.semiconducting_off_current_a
@@ -167,10 +264,31 @@ class CNFETArrayModel:
         n_devices: int = 10000,
         spec: ArraySpec | None = None,
         seed: int | None = None,
+        chunk_size: int | None = None,
+        workers: int | None = None,
     ) -> ArrayResult:
-        """Synthesize an array the size of the Park et al. dataset."""
+        """Synthesize an array the size of the Park et al. dataset.
+
+        Devices are drawn in vectorised substream blocks through the
+        sweep engine: the result depends only on ``seed`` and
+        ``n_devices`` — never on ``chunk_size`` (execution granularity)
+        or ``workers`` (optional process pool).
+        """
         if n_devices < 1:
             raise ValueError("need at least one device")
-        rng = np.random.default_rng(seed)
-        devices = tuple(self.sample_device(rng) for _ in range(n_devices))
-        return ArrayResult(devices=devices, spec=spec or ArraySpec())
+        sweep = SweepPlan(_sample_block, vectorized=True, payload=self)
+        rows = np.asarray(
+            sweep.run(
+                range(n_devices),
+                seed=ensure_seed(seed),
+                chunk_size=chunk_size,
+                workers=workers,
+            )
+        )
+        return ArrayResult(
+            spec=spec or ArraySpec(),
+            n_tubes=rows[:, 0],
+            n_metallic=rows[:, 1],
+            i_on_a=rows[:, 2],
+            i_off_a=rows[:, 3],
+        )

@@ -13,6 +13,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.circuit.sweep import SweepPlan, ensure_seed
 from repro.integration.yields import GateYieldModel
 from repro.logic.gates import LogicNetlist, build_ripple_subtractor
 from repro.logic.subneg import SubnegMachine, counting_program, sort_with_machine
@@ -97,33 +98,55 @@ class FunctionalYieldResult:
         return self.n_functional / self.n_trials
 
 
+def _functional_trial_block(params_block, rng, payload):
+    """Sweep-engine block kernel: fabricate and test one machine per trial."""
+    word_bits, p_fail = payload
+    alu = build_ripple_subtractor(word_bits)
+    outcomes = []
+    for _ in params_block:
+        faults = sample_stuck_faults(alu, p_fail, rng)
+        outcomes.append(
+            not faults
+            or (runs_counting_program(faults) and runs_sorting_program(faults))
+        )
+    return outcomes
+
+
 def functional_yield(
     gate_model: GateYieldModel,
     n_trials: int = 200,
     word_bits: int = 8,
     seed: int | None = 1234,
+    chunk_size: int | None = None,
+    workers: int | None = None,
 ) -> FunctionalYieldResult:
     """Fraction of fabricated machines that pass counting AND sorting.
 
     Each trial fabricates one ALU: every gate output fails with the
     material model's per-gate failure probability; the machine must run
-    both reference programs correctly to count as functional.
+    both reference programs correctly to count as functional.  Trials
+    run in substream blocks through the sweep engine — gate-level
+    program simulation is pure Python, so this is the one Monte Carlo
+    where ``workers`` (a process pool) buys real wall-clock on
+    multi-core machines; results are identical either way.
     """
     if n_trials < 1:
         raise ValueError("need at least one trial")
-    rng = np.random.default_rng(seed)
-    alu = build_ripple_subtractor(word_bits)
     p_fail = 1.0 - gate_model.gate_yield
-    n_functional = 0
-    for _ in range(n_trials):
-        faults = sample_stuck_faults(alu, p_fail, rng)
-        if not faults:
-            n_functional += 1
-            continue
-        if runs_counting_program(faults) and runs_sorting_program(faults):
-            n_functional += 1
+    sweep = SweepPlan(
+        _functional_trial_block,
+        vectorized=True,
+        payload=(word_bits, p_fail),
+        substream_block=32,
+    )
+    outcomes = sweep.run(
+        range(n_trials),
+        seed=ensure_seed(seed),
+        chunk_size=chunk_size,
+        workers=workers,
+    )
     return FunctionalYieldResult(
         n_trials=n_trials,
-        n_functional=n_functional,
+        n_functional=int(sum(outcomes)),
         gate_failure_probability=p_fail,
     )

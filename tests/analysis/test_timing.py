@@ -108,3 +108,38 @@ class TestEstimators:
         energy, delay = intrinsic_energy_delay(fet, 10e-15, 1.0)
         assert energy == pytest.approx(10e-15)
         assert delay > 0.0
+
+
+class TestDelayCornerSweep:
+    """Corner sweeps of the CV/I estimator through the sweep engine."""
+
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        from repro.analysis.timing import delay_corner_sweep
+        from repro.devices.empirical import AlphaPowerFET
+
+        corners = {
+            "slow": AlphaPowerFET(k_a_per_v_alpha=2.0e-4),
+            "typical": AlphaPowerFET(),
+            "fast": AlphaPowerFET(k_a_per_v_alpha=8.0e-4),
+        }
+        return delay_corner_sweep(corners, load_f=10e-15, vdd=1.0)
+
+    def test_weaker_drive_is_slower(self, sweep):
+        slow, typical, fast = sweep.delays_s
+        assert slow > typical > fast
+
+    def test_energy_is_corner_independent_for_fixed_load(self, sweep):
+        assert np.allclose(sweep.energies_j, sweep.energies_j[0])
+
+    def test_worst_corner_and_spread(self, sweep):
+        label, delay = sweep.worst_corner()
+        assert label == "slow"
+        assert delay == sweep.delays_s.max()
+        assert sweep.spread() == pytest.approx(4.0, rel=0.3)
+
+    def test_validation(self):
+        from repro.analysis.timing import delay_corner_sweep
+
+        with pytest.raises(ValueError):
+            delay_corner_sweep({}, load_f=1e-15, vdd=1.0)

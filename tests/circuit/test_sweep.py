@@ -1,0 +1,336 @@
+"""Batched sweep/Monte Carlo engine: correctness, determinism, invariance.
+
+Three layers of guarantees:
+
+* :class:`SweepPlan` — substreamed chunked execution is bitwise
+  reproducible across chunk sizes, worker counts and serial vs. pooled
+  runs;
+* :class:`CircuitMonteCarlo` — the batched Newton solutions match
+  per-instance scalar ``solve_dc`` references built from explicitly
+  perturbed device models;
+* determinism satellites — same seed means identical statistics no
+  matter how the work is executed.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.circuit.cells import build_inverter
+from repro.circuit.solver import solve_dc
+from repro.circuit.sweep import (
+    CircuitMonteCarlo,
+    DEFAULT_SUBSTREAM_BLOCK,
+    FETVariation,
+    SweepPlan,
+    ensure_seed,
+)
+from repro.circuit.netlist import Circuit
+from repro.circuit.waveforms import DC
+from repro.devices.base import FETModel, PType
+from repro.devices.empirical import AlphaPowerFET
+from repro.experiments.cascade import STAGE_LOAD_F, build_inverter_chain
+
+
+# -- pool-safe kernels (module level so ProcessPoolExecutor can pickle) -------
+
+def _square_kernel(value, rng, payload):
+    return value * value
+
+
+def _draw_kernel(value, rng, payload):
+    return float(rng.normal())
+
+
+def _block_draw_kernel(params_block, rng, payload):
+    return list(rng.normal(size=len(params_block)))
+
+
+class _ScaledShiftedFET(FETModel):
+    """Reference perturbation: scale * I(vgs - shift, vds), built explicitly."""
+
+    def __init__(self, base, scale, shift):
+        self.base = base
+        self.scale = scale
+        self.shift = shift
+
+    def current(self, vgs, vds):
+        return self.scale * self.base.current(vgs - self.shift, vds)
+
+    def currents(self, vgs_values, vds_values):
+        return self.scale * self.base.currents(
+            np.asarray(vgs_values, dtype=float) - self.shift, vds_values
+        )
+
+
+def _chain(n_stages=2, vin=0.0):
+    return build_inverter_chain(
+        AlphaPowerFET(), n_stages=n_stages, input_waveform=DC(vin)
+    )
+
+
+def _reference_chain(engine, variation, instance, n_stages=2, vin=0.0):
+    """The same chain rebuilt with explicitly perturbed scalar devices."""
+    columns = {name: j for j, name in enumerate(engine.fet_names)}
+    base = AlphaPowerFET()
+    circuit = Circuit("reference")
+    circuit.add_voltage_source("VDD", "vdd", "0", DC(1.0))
+    circuit.add_voltage_source("VIN", "s0", "0", DC(vin))
+    for stage in range(n_stages):
+        node_in, node_out = f"s{stage}", f"s{stage + 1}"
+        jp, jn = columns[f"MP{stage}"], columns[f"MN{stage}"]
+        circuit.add_fet(
+            f"MP{stage}", node_out, node_in, "vdd",
+            PType(_ScaledShiftedFET(
+                base,
+                variation.drive_scale[instance, jp],
+                variation.vth_shift_v[instance, jp],
+            )),
+        )
+        circuit.add_fet(
+            f"MN{stage}", node_out, node_in, "0",
+            _ScaledShiftedFET(
+                base,
+                variation.drive_scale[instance, jn],
+                variation.vth_shift_v[instance, jn],
+            ),
+        )
+        circuit.add_capacitor(f"C{stage}", node_out, "0", STAGE_LOAD_F)
+    return circuit
+
+
+@pytest.fixture(scope="module")
+def engine():
+    return CircuitMonteCarlo(_chain())
+
+
+@pytest.fixture(scope="module")
+def variation(engine):
+    return FETVariation.sample(
+        64, len(engine.fet_names), seed=123, drive_sigma=0.2, vth_sigma_v=0.02
+    )
+
+
+class TestSweepPlan:
+    def test_preserves_input_order(self):
+        results = SweepPlan(_square_kernel).run([3, 1, 2])
+        assert results == [9, 1, 4]
+
+    def test_empty_params(self):
+        assert SweepPlan(_square_kernel).run([]) == []
+
+    def test_seeded_runs_reproduce(self):
+        plan = SweepPlan(_draw_kernel)
+        a = plan.run(range(10), seed=5)
+        b = plan.run(range(10), seed=5)
+        c = plan.run(range(10), seed=6)
+        assert a == b
+        assert a != c
+
+    def test_per_instance_streams_independent_of_chunking(self):
+        plan = SweepPlan(_draw_kernel)
+        whole = plan.run(range(20), seed=9)
+        chunked = plan.run(range(20), seed=9, chunk_size=3)
+        assert whole == chunked
+
+    def test_vectorized_block_draws_invariant_to_chunk_size(self):
+        plan = SweepPlan(_block_draw_kernel, vectorized=True, substream_block=8)
+        whole = plan.run(range(50), seed=1)
+        for chunk_size in (8, 16, 21, 64):
+            assert plan.run(range(50), seed=1, chunk_size=chunk_size) == whole
+
+    def test_vectorized_pool_matches_serial(self):
+        plan = SweepPlan(_block_draw_kernel, vectorized=True, substream_block=8)
+        serial = plan.run(range(40), seed=2, chunk_size=8)
+        pooled = plan.run(range(40), seed=2, chunk_size=8, workers=2)
+        assert serial == pooled
+
+    def test_scalar_pool_matches_serial(self):
+        plan = SweepPlan(_square_kernel)
+        assert plan.run(range(9), chunk_size=2, workers=2) == [
+            v * v for v in range(9)
+        ]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SweepPlan(_square_kernel, substream_block=0)
+        with pytest.raises(ValueError):
+            SweepPlan(_square_kernel).run([1], chunk_size=0)
+
+    def test_ensure_seed_passthrough_and_entropy(self):
+        assert ensure_seed(17) == 17
+        assert ensure_seed(None) != ensure_seed(None)
+
+
+class TestFETVariation:
+    def test_sample_shapes_and_moments(self):
+        var = FETVariation.sample(4000, 3, seed=0, drive_sigma=0.2, vth_sigma_v=0.05)
+        assert var.drive_scale.shape == (4000, 3)
+        assert var.drive_scale.mean() == pytest.approx(1.0, abs=0.02)
+        assert np.all(var.drive_scale > 0.0)
+        assert var.vth_shift_v.std() == pytest.approx(0.05, rel=0.1)
+
+    def test_zero_sigmas_are_exact(self):
+        var = FETVariation.sample(8, 2, seed=0, drive_sigma=0.0, vth_sigma_v=0.0)
+        assert np.all(var.drive_scale == 1.0)
+        assert np.all(var.vth_shift_v == 0.0)
+
+    def test_draws_depend_only_on_position(self):
+        a = FETVariation.sample(40, 2, seed=3, substream_block=16)
+        b = FETVariation.sample(50, 2, seed=3, substream_block=16)
+        assert np.array_equal(a.drive_scale, b.drive_scale[:40])
+
+    def test_take_and_nominal(self):
+        var = FETVariation.sample(10, 2, seed=0)
+        sub = var.take([3, 1])
+        assert np.array_equal(sub.drive_scale[0], var.drive_scale[3])
+        nominal = FETVariation.nominal(5, 4)
+        assert nominal.n_instances == 5 and nominal.n_fets == 4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FETVariation(drive_scale=np.ones((2, 3)), vth_shift_v=np.ones((3, 2)))
+        with pytest.raises(ValueError):
+            FETVariation.sample(0, 1, seed=0)
+        with pytest.raises(ValueError):
+            FETVariation.sample(1, 1, seed=0, drive_sigma=-0.1)
+
+
+class TestCircuitMonteCarlo:
+    def test_nominal_variation_reproduces_scalar_solve(self, engine):
+        result = engine.run(n_instances=3)
+        assert result.converged.all()
+        reference = solve_dc(_chain().build_system())
+        for i in range(3):
+            assert result.x[i] == pytest.approx(reference, abs=1e-9)
+
+    def test_perturbed_instances_match_scalar_references(self, engine, variation):
+        result = engine.run(variation)
+        assert result.converged.all()
+        for instance in (0, 17, 63):
+            circuit = _reference_chain(engine, variation, instance)
+            system = circuit.build_system()
+            x_ref = solve_dc(system)
+            for node in ("s1", "s2"):
+                assert result.voltage(node)[instance] == pytest.approx(
+                    x_ref[system.node_index(node)], abs=1e-8
+                )
+
+    def test_serial_loop_equals_batched(self, engine, variation):
+        batched = engine.run(variation, chunk_size=64)
+        looped = engine.run(variation, chunk_size=1)
+        assert np.allclose(batched.x, looped.x, atol=1e-10)
+        assert np.array_equal(batched.converged, looped.converged)
+
+    def test_chunk_size_invariance(self, engine, variation):
+        reference = engine.run(variation, chunk_size=64)
+        for chunk_size in (7, 13, 32):
+            result = engine.run(variation, chunk_size=chunk_size)
+            assert np.allclose(reference.x, result.x, atol=1e-10)
+
+    def test_instance_order_invariance(self, engine, variation):
+        reference = engine.run(variation, chunk_size=64)
+        permutation = np.random.default_rng(0).permutation(variation.n_instances)
+        permuted = engine.run(variation.take(permutation), chunk_size=64)
+        assert np.allclose(permuted.x, reference.x[permutation], atol=1e-10)
+
+    def test_process_pool_matches_serial(self, engine, variation):
+        serial = engine.run(variation, chunk_size=32)
+        pooled = engine.run(variation, chunk_size=32, workers=2)
+        assert np.allclose(serial.x, pooled.x, atol=1e-10)
+        assert np.array_equal(serial.converged, pooled.converged)
+
+    def test_statistics_and_accessors(self, engine, variation):
+        result = engine.run(variation)
+        stats = result.statistics("s2")
+        assert stats.n_instances == variation.n_instances
+        assert stats.n_converged == result.n_converged
+        assert stats.minimum <= stats.mean <= stats.maximum
+        assert result.voltage("0") == pytest.approx(np.zeros(variation.n_instances))
+        assert result.source_current("VDD").shape == (variation.n_instances,)
+        with pytest.raises(KeyError):
+            result.voltage("nope")
+        with pytest.raises(KeyError):
+            result.source_current("nope")
+
+    def test_vth_shift_moves_the_output(self):
+        cell = build_inverter(AlphaPowerFET(), input_waveform=DC(0.45))
+        inverter = CircuitMonteCarlo(cell.circuit)
+        nominal = inverter.run(n_instances=1)
+        moved = inverter.run(
+            FETVariation(
+                drive_scale=np.ones((1, 2)), vth_shift_v=np.full((1, 2), 0.08)
+            )
+        )
+        assert moved.converged.all() and nominal.converged.all()
+        assert abs(moved.voltage("out")[0] - nominal.voltage("out")[0]) > 0.01
+
+    def test_rejects_fetless_and_mismatched_input(self):
+        circuit = Circuit("rc")
+        circuit.add_voltage_source("V1", "a", "0", DC(1.0))
+        circuit.add_resistor("R1", "a", "b", 1e3)
+        circuit.add_resistor("R2", "b", "0", 1e3)
+        with pytest.raises(ValueError):
+            CircuitMonteCarlo(circuit)
+        engine = CircuitMonteCarlo(_chain())
+        with pytest.raises(ValueError):
+            engine.run(FETVariation.nominal(2, 7))
+        with pytest.raises(ValueError):
+            engine.run()
+
+    def test_rejects_sparse_plans(self):
+        # n_stages + 4 unknowns: 130 stages crosses SPARSE_THRESHOLD=128.
+        big = build_inverter_chain(
+            AlphaPowerFET(), n_stages=130, input_waveform=DC(0.0)
+        )
+        with pytest.raises(ValueError):
+            CircuitMonteCarlo(big)
+
+
+class TestSweepInvarianceProperties:
+    """Hypothesis: execution shape never changes sweep results."""
+
+    @given(chunk_size=st.integers(min_value=1, max_value=40))
+    @settings(max_examples=8, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    def test_chunk_size_never_changes_solutions(self, engine, variation, chunk_size):
+        reference = engine.run(variation, chunk_size=variation.n_instances)
+        result = engine.run(variation, chunk_size=chunk_size)
+        assert np.allclose(reference.x, result.x, atol=1e-10)
+
+    @given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=8, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    def test_any_permutation_permutes_results(self, engine, variation, seed):
+        permutation = np.random.default_rng(seed).permutation(variation.n_instances)
+        reference = engine.run(variation, chunk_size=64)
+        permuted = engine.run(variation.take(permutation), chunk_size=64)
+        assert np.allclose(permuted.x, reference.x[permutation], atol=1e-10)
+
+    @given(
+        block=st.integers(min_value=1, max_value=17),
+        chunk=st.integers(min_value=1, max_value=60),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_vectorized_rng_tied_to_block_not_chunk(self, block, chunk):
+        plan = SweepPlan(_block_draw_kernel, vectorized=True, substream_block=block)
+        whole = plan.run(range(37), seed=11)
+        assert plan.run(range(37), seed=11, chunk_size=chunk) == whole
+
+
+class TestEngineDeterminism:
+    """Satellite: same seed => identical statistics however executed."""
+
+    def test_monte_carlo_statistics_identical_serial_vs_pool(self, engine, variation):
+        serial = engine.run(variation, chunk_size=16)
+        pooled = engine.run(variation, chunk_size=16, workers=2)
+        for node in ("s1", "s2"):
+            assert serial.statistics(node) == pooled.statistics(node)
+
+    def test_monte_carlo_statistics_identical_across_chunks(self, engine, variation):
+        stats = [
+            engine.run(variation, chunk_size=c).statistics("s2").mean
+            for c in (1, 9, 64)
+        ]
+        assert stats[0] == pytest.approx(stats[1], abs=1e-12)
+        assert stats[1] == pytest.approx(stats[2], abs=1e-12)

@@ -1,4 +1,12 @@
-"""Shared fixtures: reference devices are expensive, build them once."""
+"""Shared fixtures: reference devices are expensive, build them once.
+
+Also registers the golden-file harness option: run
+
+    pytest tests/test_golden.py --update-golden
+
+to regenerate the committed snapshots under ``tests/golden/`` after an
+intentional output change.
+"""
 
 from __future__ import annotations
 
@@ -9,6 +17,15 @@ from repro.devices.gnrfet import GNRFET
 from repro.devices.tfet import CNTTunnelFET
 from repro.physics.cnt import Chirality, chirality_for_gap
 from repro.physics.gnr import ArmchairGNR
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="rewrite tests/golden/ snapshots from the current outputs",
+    )
 
 
 @pytest.fixture(scope="session")

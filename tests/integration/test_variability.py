@@ -3,7 +3,12 @@
 import numpy as np
 import pytest
 
-from repro.integration.variability import ArraySpec, CNFETArrayModel, DeviceSample
+from repro.integration.variability import (
+    ArrayResult,
+    ArraySpec,
+    CNFETArrayModel,
+    DeviceSample,
+)
 
 
 class TestDeviceSample:
@@ -90,3 +95,71 @@ class TestArrayStatistics:
     def test_validation(self):
         with pytest.raises(ValueError):
             CNFETArrayModel().sample_array(0)
+
+
+class TestArrayResultEdgeCases:
+    """The n_devices == 0 divide-by-zero fix plus array/tuple storage parity."""
+
+    def test_empty_array_fractions_are_zero(self):
+        empty = ArrayResult(devices=(), spec=ArraySpec())
+        assert empty.n_devices == 0
+        assert empty.pass_fraction == 0.0
+        assert empty.open_fraction == 0.0
+        assert empty.shorted_fraction == 0.0
+        assert empty.on_currents_a().size == 0
+        assert empty.on_off_ratios().size == 0
+
+    def test_empty_array_from_columns(self):
+        empty = ArrayResult(
+            n_tubes=np.array([], dtype=int),
+            n_metallic=np.array([], dtype=int),
+            i_on_a=np.array([]),
+            i_off_a=np.array([]),
+        )
+        assert empty.pass_fraction == 0.0 and empty.n_devices == 0
+
+    def test_all_open_array(self):
+        opens = tuple(
+            DeviceSample(n_tubes=0, n_metallic=0, i_on_a=0.0, i_off_a=0.0)
+            for _ in range(5)
+        )
+        result = ArrayResult(devices=opens, spec=ArraySpec())
+        assert result.open_fraction == 1.0
+        assert result.pass_fraction == 0.0
+        assert result.shorted_fraction == 0.0
+        assert np.all(np.isinf(result.on_off_ratios()))
+
+    def test_constructor_requires_devices_or_columns(self):
+        with pytest.raises(ValueError):
+            ArrayResult(spec=ArraySpec())
+        with pytest.raises(ValueError):
+            ArrayResult(n_tubes=np.zeros(3), n_metallic=np.zeros(2),
+                        i_on_a=np.zeros(3), i_off_a=np.zeros(3))
+
+    def test_devices_tuple_matches_columns(self):
+        sampled = CNFETArrayModel().sample_array(64, seed=1)
+        devices = sampled.devices
+        assert len(devices) == 64
+        rebuilt = ArrayResult(devices=devices, spec=sampled.spec)
+        assert rebuilt.pass_fraction == sampled.pass_fraction
+        assert np.array_equal(rebuilt.on_currents_a(), sampled.on_currents_a())
+
+
+class TestSampleArrayDeterminism:
+    """Engine satellite: seed fixes the array, execution shape never does."""
+
+    def test_chunk_size_invariance(self):
+        model = CNFETArrayModel()
+        reference = model.sample_array(1500, seed=3)
+        for chunk_size in (97, 256, 1024):
+            result = model.sample_array(1500, seed=3, chunk_size=chunk_size)
+            assert np.array_equal(
+                reference.on_currents_a(), result.on_currents_a()
+            )
+
+    def test_process_pool_invariance(self):
+        model = CNFETArrayModel()
+        reference = model.sample_array(1200, seed=8)
+        pooled = model.sample_array(1200, seed=8, workers=2)
+        assert np.array_equal(reference.on_currents_a(), pooled.on_currents_a())
+        assert reference.pass_fraction == pooled.pass_fraction

@@ -9,6 +9,7 @@ from repro.integration.yields import (
     GateYieldModel,
     SHULAKER_TRANSISTOR_COUNT,
     circuit_yield,
+    monte_carlo_gate_yield,
     purity_required_for_yield,
     shulaker_computer_yield,
 )
@@ -141,3 +142,37 @@ class TestPurityRequirement:
             purity_required_for_yield(1.5, 100)
         with pytest.raises(ValueError):
             purity_required_for_yield(0.5, 0)
+
+
+class TestMonteCarloGateYield:
+    """Sampled gate fabrication converges on the analytic thinning model."""
+
+    @pytest.fixture(scope="class")
+    def model(self):
+        return GateYieldModel(
+            semiconducting_purity=0.99, tubes_per_gate=5.0,
+            removal_efficiency=0.9, tube_survival=0.95,
+        )
+
+    @pytest.fixture(scope="class")
+    def sampled(self, model):
+        return monte_carlo_gate_yield(model, n_gates=20000, seed=3)
+
+    def test_matches_analytic_probabilities(self, model, sampled):
+        assert sampled.p_short == pytest.approx(model.p_short, abs=0.005)
+        assert sampled.p_open == pytest.approx(model.p_open, abs=0.005)
+        assert sampled.gate_yield == pytest.approx(model.gate_yield, abs=0.01)
+
+    def test_counts_are_consistent(self, sampled):
+        assert sampled.n_functional <= sampled.n_gates
+        assert sampled.n_functional >= sampled.n_gates - sampled.n_shorted - sampled.n_open
+
+    def test_execution_shape_invariance(self, model, sampled):
+        chunked = monte_carlo_gate_yield(model, n_gates=20000, seed=3, chunk_size=777)
+        pooled = monte_carlo_gate_yield(model, n_gates=20000, seed=3, workers=2)
+        assert chunked == sampled
+        assert pooled == sampled
+
+    def test_validation(self, model):
+        with pytest.raises(ValueError):
+            monte_carlo_gate_yield(model, n_gates=0)

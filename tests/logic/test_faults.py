@@ -91,3 +91,16 @@ class TestFunctionalYield:
     def test_validation(self):
         with pytest.raises(ValueError):
             functional_yield(GateYieldModel(), n_trials=0)
+
+
+class TestFunctionalYieldDeterminism:
+    """Engine satellite: execution shape never changes the yield estimate."""
+
+    def test_chunking_and_pool_match_serial(self):
+        model = GateYieldModel(
+            semiconducting_purity=0.99, removal_efficiency=0.9, tubes_per_gate=5.0
+        )
+        serial = functional_yield(model, n_trials=48, seed=7)
+        chunked = functional_yield(model, n_trials=48, seed=7, chunk_size=32)
+        pooled = functional_yield(model, n_trials=48, seed=7, workers=2)
+        assert serial == chunked == pooled

@@ -1,0 +1,74 @@
+"""Golden-file regression net over the CLI experiment outputs.
+
+Each snapshot under ``tests/golden/`` stores the exact ``(label,
+value...)`` rows the CLI experiment registry produces — the same rows
+``python -m repro <experiment>`` prints.  The suite holds the current
+code to those committed numbers with tight tolerances, so large
+refactors (like the batched sweep engine) stay bitwise-honest about the
+artefacts they claim not to change.
+
+After an *intentional* output change, regenerate with::
+
+    PYTHONPATH=src python -m pytest tests/test_golden.py --update-golden
+
+and commit the refreshed JSON alongside the change that explains it.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import EXPERIMENTS
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+# The experiments snapshotted: the two circuit-level artefacts the
+# solver/assembly refactors must not move, the ablation sweeps, and the
+# seeded Section V Monte-Carlo pipeline.
+GOLDEN_EXPERIMENTS = ("fig2", "cascade", "ablations", "integration")
+
+# Tight by design: these runs are deterministic (fixed seeds, fixed
+# grids); the relative slack only absorbs BLAS/libm rounding drift.
+RELATIVE_TOLERANCE = 1e-6
+ABSOLUTE_TOLERANCE = 1e-12
+
+
+def _rows_as_json(rows) -> list[list]:
+    return [[row[0], *[float(v) for v in row[1:]]] for row in rows]
+
+
+@pytest.mark.parametrize("name", GOLDEN_EXPERIMENTS)
+def test_cli_output_matches_golden(name, request):
+    rows = _rows_as_json(EXPERIMENTS[name][1]())
+    path = GOLDEN_DIR / f"{name}.json"
+
+    if request.config.getoption("--update-golden", default=False):
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        path.write_text(json.dumps(rows, indent=1) + "\n")
+        pytest.skip(f"rewrote {path.name}")
+
+    assert path.exists(), (
+        f"missing golden file {path}; create it with "
+        "pytest tests/test_golden.py --update-golden"
+    )
+    golden = json.loads(path.read_text())
+    assert [row[0] for row in rows] == [row[0] for row in golden], (
+        f"{name}: row labels changed — update the golden file if intentional"
+    )
+    for current, expected in zip(rows, golden):
+        assert current[1:] == pytest.approx(
+            expected[1:], rel=RELATIVE_TOLERANCE, abs=ABSOLUTE_TOLERANCE
+        ), f"{name}: row {current[0]!r} drifted from golden"
+
+
+def test_golden_files_are_committed():
+    """Every snapshotted experiment has its golden file in the tree."""
+    missing = [
+        name
+        for name in GOLDEN_EXPERIMENTS
+        if not (GOLDEN_DIR / f"{name}.json").exists()
+    ]
+    assert not missing, f"golden files missing for: {missing}"

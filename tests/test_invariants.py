@@ -11,11 +11,15 @@ import numpy as np
 import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
+from repro.circuit.netlist import Circuit
+from repro.circuit.solver import solve_dc
+from repro.circuit.waveforms import DC
 from repro.devices.base import PType
 from repro.devices.contacts import SeriesResistanceFET
 from repro.devices.empirical import AlphaPowerFET, NonSaturatingFET, TabulatedFET
 from repro.devices.fabric import CNTFabricFET
 from repro.devices.reference import inas_hemt_reference, trigate_intel_22nm
+from repro.experiments.cascade import build_inverter_chain
 
 
 def _device_zoo():
@@ -101,3 +105,72 @@ class TestBallisticDeviceInvariants:
             abs(reference_tfet.current(vg, -0.5)) for vg in (-0.5, -1.0, -1.5, -2.0)
         ]
         assert all(a <= b + 1e-15 for a, b in zip(magnitudes, magnitudes[1:]))
+
+
+# -- netlist/stamp invariants (property-based) --------------------------------
+
+
+@st.composite
+def resistor_networks(draw):
+    """A random connected R network driven by one source, grounded via a chain."""
+    n_nodes = draw(st.integers(min_value=2, max_value=6))
+    nodes = [f"n{i}" for i in range(n_nodes)]
+    circuit = Circuit("random-linear")
+    circuit.add_voltage_source(
+        "VS", "n0", "0", DC(draw(st.floats(min_value=-2.0, max_value=2.0)))
+    )
+    previous = "0"
+    for i, node in enumerate(nodes):
+        r = draw(st.floats(min_value=1e2, max_value=1e6))
+        circuit.add_resistor(f"Rchain{i}", node, previous, r)
+        previous = node
+    extra_edges = draw(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=n_nodes - 1),
+                st.integers(min_value=0, max_value=n_nodes - 1),
+                st.floats(min_value=1e2, max_value=1e6),
+            ),
+            max_size=4,
+        )
+    )
+    for k, (i, j, r) in enumerate(extra_edges):
+        if i != j:
+            circuit.add_resistor(f"Rx{k}", nodes[i], nodes[j], r)
+    if draw(st.booleans()):
+        sink = draw(st.integers(min_value=0, max_value=n_nodes - 1))
+        level = draw(st.floats(min_value=-1e-4, max_value=1e-4))
+        circuit.add_current_source("IS", nodes[sink], "0", DC(level))
+    return circuit
+
+
+class TestStampInvariants:
+    """Properties every compiled netlist must satisfy, on random circuits."""
+
+    @given(circuit=resistor_networks())
+    @settings(max_examples=25, deadline=None)
+    def test_kcl_residual_vanishes_at_solution(self, circuit):
+        system = circuit.build_system()
+        x = solve_dc(system)
+        residual, _ = system.evaluate(x)
+        assert float(np.max(np.abs(residual))) < 1e-8
+
+    @given(circuit=resistor_networks(), seed=st.integers(0, 2**31 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_linear_only_jacobian_is_symmetric(self, circuit, seed):
+        """R/V/I stamps are reciprocal: J = J^T at any iterate."""
+        system = circuit.build_system()
+        x = np.random.default_rng(seed).normal(size=system.size)
+        _, jacobian = system.evaluate(x)
+        jacobian = np.asarray(jacobian)
+        assert np.array_equal(jacobian, jacobian.T)
+
+    @pytest.mark.parametrize("n_stages", (1, 3))
+    def test_kcl_residual_vanishes_for_fet_chains(self, n_stages):
+        chain = build_inverter_chain(
+            AlphaPowerFET(), n_stages=n_stages, input_waveform=DC(0.0)
+        )
+        system = chain.build_system()
+        x = solve_dc(system)
+        residual, _ = system.evaluate(x)
+        assert float(np.max(np.abs(residual))) < 1e-8
