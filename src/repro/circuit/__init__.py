@@ -30,11 +30,16 @@ and the fallback for user-defined element types.
 Many-instance work goes through the batched sweep engine
 (:mod:`repro.circuit.sweep`): :class:`SweepPlan` chunks any
 sweep-shaped computation over deterministic seed substreams (optionally
-on a process pool), and :class:`CircuitMonteCarlo` solves N
-parameter-perturbed copies of one compiled circuit with stacked
+on a process pool); :class:`CircuitMonteCarlo` solves N
+parameter-perturbed DC copies of one compiled circuit with stacked
 Jacobians, one batched ``linearize`` call per device group, and a
-batched LAPACK Newton step — the substrate for the paper's
-variability/yield statistics.
+batched LAPACK Newton step; and :class:`CircuitTransientMC` extends
+the same batched Newton through time-stepping — N instances marched in
+lockstep over one shared ``(dt, integrator)`` grid, with per-instance
+scalar fallback for instances that fail a step — the substrate for the
+paper's variability/yield statistics and delay/energy distributions.
+Waveforms are bitwise invariant to chunk size, instance order, and
+serial vs. process-pool execution.
 """
 
 from repro.circuit.ac import ACResult, ac_analysis
@@ -55,10 +60,14 @@ from repro.circuit.dc import OperatingPointResult, SweepResult, dc_sweep, operat
 from repro.circuit.netlist import Circuit, CircuitError
 from repro.circuit.sweep import (
     CircuitMonteCarlo,
+    CircuitTransientMC,
     FETVariation,
     MonteCarloResult,
+    ScaledShiftedFET,
     SweepPlan,
     SweepStatistics,
+    TransientMCResult,
+    perturbed_circuit,
 )
 from repro.circuit.transient import TransientResult, transient
 from repro.circuit.waveforms import DC, PiecewiseLinear, Pulse, Sine
@@ -68,6 +77,7 @@ __all__ = [
     "Circuit",
     "CircuitError",
     "CircuitMonteCarlo",
+    "CircuitTransientMC",
     "ConvergenceError",
     "ConvergenceReport",
     "DC",
@@ -77,10 +87,12 @@ __all__ = [
     "OperatingPointResult",
     "PiecewiseLinear",
     "Pulse",
+    "ScaledShiftedFET",
     "Sine",
     "SweepPlan",
     "SweepResult",
     "SweepStatistics",
+    "TransientMCResult",
     "TransientResult",
     "ac_analysis",
     "build_inverter",
@@ -88,6 +100,7 @@ __all__ = [
     "dc_sweep",
     "inverter_vtc",
     "operating_point",
+    "perturbed_circuit",
     "ring_oscillator_frequency",
     "solve_dc_robust",
     "structural_seed",

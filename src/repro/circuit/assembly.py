@@ -439,13 +439,8 @@ class StampPlan:
         if dt_s is not None and self.cap_c.size:
             prevpad = self._prevpad
             prevpad[:size] = x if previous_x is None else previous_x
-            v_prev = prevpad[self.cap_p] - prevpad[self.cap_n]
-            rhs = -linear.cap_geq * v_prev
-            if integrator != "backward-euler":
-                if state:
-                    rhs = rhs - np.array(
-                        [state.get(name, 0.0) for name in self.cap_names]
-                    )
+            history = self.cap_state_array(state) if state else None
+            rhs = self.cap_history_rhs(prevpad, linear.cap_geq, integrator, history)
             cap_vals = self._cap_vals
             cap_vals[: rhs.size] = rhs
             np.negative(rhs, out=cap_vals[rhs.size :])
@@ -488,6 +483,57 @@ class StampPlan:
         return linear.matrix.copy()
 
     # -- transient support ----------------------------------------------------------
+    def cap_state_array(self, state: dict | None) -> np.ndarray:
+        """Capacitor history currents as an array in ``cap_names`` order."""
+        if not state:
+            return np.zeros(len(self.cap_names))
+        return np.array([state.get(name, 0.0) for name in self.cap_names])
+
+    def cap_history_rhs(
+        self,
+        prevpad: np.ndarray,
+        cap_geq: np.ndarray,
+        integrator: str,
+        state_currents: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Companion-model history RHS per capacitor: ``-geq v_prev - i_prev``.
+
+        Batchable: ``prevpad`` is a padded previous-solution stack of
+        shape ``(..., size + 1)`` (ground in the trailing slot) and
+        ``state_currents`` — the trapezoidal history currents, ignored
+        under backward Euler — broadcasts as ``(..., n_caps)``.  The
+        scalar :meth:`evaluate` path and the batched sweep engine share
+        this arithmetic, so their residuals agree bitwise.
+        """
+        v_prev = prevpad[..., self.cap_p] - prevpad[..., self.cap_n]
+        rhs = -cap_geq * v_prev
+        if integrator != "backward-euler" and state_currents is not None:
+            rhs = rhs - state_currents
+        return rhs
+
+    def cap_state_update(
+        self,
+        xpad: np.ndarray,
+        prevpad: np.ndarray,
+        dt_s: float,
+        integrator: str,
+        state_currents: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """New history currents at an accepted solution (batchable).
+
+        ``xpad``/``prevpad`` are padded solution stacks ``(..., size +
+        1)``; returns ``(..., n_caps)`` trapezoidal (or backward-Euler)
+        capacitor currents.  The scalar per-step update and the batched
+        transient engine both route through this method.
+        """
+        v_now = xpad[..., self.cap_p] - xpad[..., self.cap_n]
+        v_prev = prevpad[..., self.cap_p] - prevpad[..., self.cap_n]
+        if integrator == "backward-euler":
+            return self.cap_c / dt_s * (v_now - v_prev)
+        geq = 2.0 * self.cap_c / dt_s
+        i_prev = 0.0 if state_currents is None else state_currents
+        return geq * (v_now - v_prev) - i_prev
+
     def update_capacitor_state(
         self,
         x: np.ndarray,
@@ -504,13 +550,7 @@ class StampPlan:
         xpad[:size] = x
         prevpad = self._prevpad
         prevpad[:size] = previous_x
-        v_now = xpad[self.cap_p] - xpad[self.cap_n]
-        v_prev = prevpad[self.cap_p] - prevpad[self.cap_n]
-        if integrator == "backward-euler":
-            i_new = self.cap_c / dt_s * (v_now - v_prev)
-        else:
-            geq = 2.0 * self.cap_c / dt_s
-            i_prev = np.array([state.get(name, 0.0) for name in self.cap_names])
-            i_new = geq * (v_now - v_prev) - i_prev
+        i_prev = self.cap_state_array(state) if integrator != "backward-euler" else None
+        i_new = self.cap_state_update(xpad, prevpad, dt_s, integrator, i_prev)
         for name, value in zip(self.cap_names, i_new):
             state[name] = float(value)

@@ -6,7 +6,7 @@ perturbed instances — 10,000-device arrays, purity sweeps, corner
 analyses, circuit Monte Carlo.  Before this module every such experiment
 re-solved its instances one at a time in a Python loop, ignoring the
 batched :meth:`repro.devices.base.FETModel.linearize` machinery the
-compiled stamp plan already exposes.  Two layers fix that:
+compiled stamp plan already exposes.  Three layers fix that:
 
 * :class:`SweepPlan` — a generic chunked map engine every sweep-shaped
   consumer routes through.  It owns the execution policy (chunking, an
@@ -15,7 +15,7 @@ compiled stamp plan already exposes.  Two layers fix that:
   seed via :class:`numpy.random.SeedSequence`, assigned to instances in
   fixed-size *blocks* so results are bitwise identical across chunk
   sizes, worker counts, and serial vs. pooled execution.
-* :class:`CircuitMonteCarlo` — the circuit-level engine.  It compiles a
+* :class:`CircuitMonteCarlo` — the DC circuit engine.  It compiles a
   circuit's stamp plan **once** and solves N parameter-perturbed
   instances against the shared sparsity structure: stacked residuals
   ``(m, size)`` and stacked dense Jacobians ``(m, size, size)``, with
@@ -24,21 +24,44 @@ compiled stamp plan already exposes.  Two layers fix that:
   LAPACK ``np.linalg.solve``.  Per-instance device-parameter arrays
   (:class:`FETVariation`: drive-strength scale and threshold shift)
   thread through the batched path without touching the device models.
+* :class:`CircuitTransientMC` — the transient circuit engine.  It
+  marches all N instances through one shared ``(dt, integrator)`` time
+  grid in lockstep: capacitor companion state stacked ``(m, n_caps)``,
+  each per-step Newton iteration making one batched ``linearize`` call
+  and one batched LAPACK solve across the still-active instances, with
+  the per-instance damping/convergence criteria and the gmin rescue
+  ladder shared with :class:`CircuitMonteCarlo`.  An instance whose
+  time step fails batched Newton **falls back to the scalar
+  per-instance path individually** (re-integrated through
+  :func:`repro.circuit.transient.transient_samples` with explicitly
+  perturbed devices, continuation rescue included) instead of
+  poisoning the rest of the batch.
 
 Perturbation semantics: for a FET with unwrapped base model ``I_n`` and
 polarity sign ``s`` (see ``assembly._unwrap_polarity``), instance ``i``
 evaluates ``drive_scale[i] * s * I_n(s*vgs - vth_shift[i], s*vds)`` —
 a multiplicative drive variation (tube count / mobility) plus a shift
 of the underlying n-type threshold, both of which preserve the shared
-sparsity structure and the batched linearize call.
+sparsity structure and the batched linearize call.  The scalar
+reference of those semantics is :class:`ScaledShiftedFET` /
+:func:`perturbed_circuit`, used by the per-instance fallbacks and the
+equivalence test suite.
+
+Determinism contract: every batched arithmetic step is elementwise per
+instance (batched gemv for the linear residual, per-matrix LAPACK
+``gesv``, elementwise device math, per-row scatters), so results are
+**bitwise invariant** to chunk size, instance order, and serial vs.
+process-pool execution.
 
 The batched path supports dense plans (``size <
 assembly.SPARSE_THRESHOLD``), which covers every seed circuit; sparse
-plans raise so callers fall back to per-instance loops explicitly.
+plans fall back to solving each instance through the scalar path, with
+a one-time :mod:`logging` warning naming the fallback.
 """
 
 from __future__ import annotations
 
+import logging
 import pickle
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
@@ -46,8 +69,24 @@ from functools import lru_cache
 
 import numpy as np
 
-from repro.circuit.assembly import DIAG_REGULARIZATION, UnsupportedElement
-from repro.circuit.elements import FET, VoltageSource
+from repro.circuit.assembly import (
+    DIAG_REGULARIZATION,
+    SPARSE_THRESHOLD,
+    UnsupportedElement,
+    _unwrap_polarity,
+)
+from repro.circuit.continuation import (
+    ConvergenceError,
+    solve_dc_robust,
+    structural_seed,
+)
+from repro.circuit.elements import (
+    FET,
+    Capacitor,
+    CurrentSource,
+    Resistor,
+    VoltageSource,
+)
 from repro.circuit.netlist import Circuit
 from repro.circuit.solver import (
     _MAX_ITERATIONS,
@@ -56,17 +95,29 @@ from repro.circuit.solver import (
     _STEP_TOL,
     solve_dc,
 )
+from repro.circuit.transient import (
+    TransientResult,
+    transient_samples,
+    validate_grid,
+)
+from repro.devices.base import FETModel, PType
 
 __all__ = [
     "SweepPlan",
     "FETVariation",
     "CircuitMonteCarlo",
+    "CircuitTransientMC",
     "MonteCarloResult",
+    "TransientMCResult",
     "SweepStatistics",
+    "ScaledShiftedFET",
+    "perturbed_circuit",
     "DEFAULT_SUBSTREAM_BLOCK",
     "ensure_seed",
     "lognormal_unit_mean",
 ]
+
+_LOG = logging.getLogger(__name__)
 
 # Instances per spawned random substream.  Randomness is tied to the
 # (instance index // block) position, never to the execution chunking,
@@ -74,9 +125,13 @@ __all__ = [
 DEFAULT_SUBSTREAM_BLOCK = 256
 
 # Default execution chunk (and therefore batch width) of the circuit
-# Monte Carlo engine: wide enough to amortize the per-Newton-iteration
+# Monte Carlo engines: wide enough to amortize the per-Newton-iteration
 # Python overhead, small enough to keep the stacked Jacobians in cache.
 DEFAULT_CIRCUIT_CHUNK = 1024
+
+# gmin staircase for batch stragglers (same spirit as continuation's
+# adaptive stepping, fixed schedule — only ever runs on failures).
+_GMIN_RESCUE_LADDER = (1e-2, 1e-4, 1e-6, 1e-8, 1e-10, 0.0)
 
 
 def _as_blocks(n: int, block: int) -> list[tuple[int, int]]:
@@ -241,7 +296,7 @@ class SweepPlan:
 
 
 # ---------------------------------------------------------------------------
-# Circuit Monte Carlo: batched Newton over one compiled stamp plan.
+# Per-instance perturbations and their scalar reference semantics.
 # ---------------------------------------------------------------------------
 
 
@@ -341,6 +396,113 @@ class FETVariation:
         )
 
 
+class ScaledShiftedFET(FETModel):
+    """``scale * I_base(vgs - shift, vds)`` — FETVariation's scalar reference.
+
+    The multiplication/subtraction order matches the batched engines'
+    arithmetic exactly, so a circuit rebuilt from these wrappers (see
+    :func:`perturbed_circuit`) evaluates bitwise-identically to the
+    corresponding batch row and serves both as the per-instance scalar
+    fallback and as the reference side of the equivalence tests.
+    """
+
+    def __init__(self, base: FETModel, drive_scale: float, vth_shift_v: float):
+        self.base = base
+        self.drive_scale = float(drive_scale)
+        self.vth_shift_v = float(vth_shift_v)
+
+    def current(self, vgs: float, vds: float) -> float:
+        return self.drive_scale * self.base.current(vgs - self.vth_shift_v, vds)
+
+    def currents(self, vgs_values, vds_values) -> np.ndarray:
+        return self.drive_scale * self.base.currents(
+            np.asarray(vgs_values, dtype=float) - self.vth_shift_v, vds_values
+        )
+
+    def linearize(self, vgs_values, vds_values, delta_v: float = 1e-5):
+        current, gm, gds = self.base.linearize(
+            np.asarray(vgs_values, dtype=float) - self.vth_shift_v,
+            vds_values,
+            delta_v,
+        )
+        return (
+            current * self.drive_scale,
+            gm * self.drive_scale,
+            gds * self.drive_scale,
+        )
+
+
+def perturbed_circuit(
+    circuit: Circuit, variation: FETVariation, instance: int
+) -> Circuit:
+    """Clone ``circuit`` with one instance's variation baked into its FETs.
+
+    Every FET's device is unwrapped to its base n-type model, wrapped in
+    a :class:`ScaledShiftedFET` carrying that FET's ``(drive_scale,
+    vth_shift)`` for ``instance``, and re-mirrored when the original was
+    p-type.  Elements are re-added in the original order, so the clone's
+    unknown-vector layout (node and branch indices) is identical — its
+    scalar solutions are directly comparable to the batch rows.
+    """
+    fets = [el for el in circuit.elements if isinstance(el, FET)]
+    if variation.n_fets != len(fets):
+        raise ValueError(
+            f"variation has {variation.n_fets} FET columns, "
+            f"circuit has {len(fets)} FETs"
+        )
+    column = {id(el): j for j, el in enumerate(fets)}
+    clone = Circuit(f"{circuit.title}[{instance}]")
+    for el in circuit.elements:
+        if isinstance(el, FET):
+            base, sign = _unwrap_polarity(el.device)
+            j = column[id(el)]
+            wrapped: FETModel = ScaledShiftedFET(
+                base,
+                variation.drive_scale[instance, j],
+                variation.vth_shift_v[instance, j],
+            )
+            if sign < 0.0:
+                wrapped = PType(wrapped)
+            clone.add(FET(el.name, el.drain, el.gate, el.source, wrapped, el.delta_v))
+        elif isinstance(el, Resistor):
+            clone.add_resistor(el.name, el.p, el.n, el.resistance_ohm)
+        elif isinstance(el, Capacitor):
+            clone.add_capacitor(el.name, el.p, el.n, el.capacitance_f)
+        elif isinstance(el, VoltageSource):
+            clone.add_voltage_source(el.name, el.p, el.n, el.waveform)
+        elif isinstance(el, CurrentSource):
+            clone.add_current_source(el.name, el.p, el.n, el.waveform)
+        else:
+            raise UnsupportedElement(
+                f"cannot perturb element type {type(el).__name__}"
+            )
+    return clone
+
+
+# One-time (per process, per engine class) notice that a sparse plan is
+# being solved per instance instead of through the batched dense path.
+_SPARSE_FALLBACK_WARNED: set[str] = set()
+
+
+def _warn_sparse_fallback(engine: str, size: int) -> None:
+    if engine in _SPARSE_FALLBACK_WARNED:
+        return
+    _SPARSE_FALLBACK_WARNED.add(engine)
+    _LOG.warning(
+        "%s: circuit has %d unknowns (>= SPARSE_THRESHOLD = %d), so the "
+        "batched dense path is disabled; falling back to solving each "
+        "instance through the scalar sparse path",
+        engine,
+        size,
+        SPARSE_THRESHOLD,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Results of the circuit engines.
+# ---------------------------------------------------------------------------
+
+
 @dataclass(frozen=True)
 class SweepStatistics:
     """Summary statistics of one scalar output across sweep instances."""
@@ -405,6 +567,86 @@ class MonteCarloResult:
         )
 
 
+@dataclass(frozen=True)
+class TransientMCResult:
+    """Stacked transient sample trajectories of a circuit Monte Carlo run.
+
+    ``samples[i, k]`` is instance ``i``'s full unknown vector at time
+    sample ``k`` (``k = 0`` is the t=0 operating point).  ``fallback``
+    marks instances whose batched time-stepping failed a step and were
+    re-integrated through the scalar per-instance path; ``converged``
+    is False only where even that path raised, in which case the
+    instance's samples are NaN.
+    """
+
+    samples: np.ndarray
+    dt_s: float
+    converged: np.ndarray
+    fallback: np.ndarray
+    node_index: dict[str, int]
+    branch_index: dict[str, int]
+
+    @property
+    def n_instances(self) -> int:
+        return self.samples.shape[0]
+
+    @property
+    def n_samples(self) -> int:
+        return self.samples.shape[1]
+
+    @property
+    def n_converged(self) -> int:
+        return int(np.count_nonzero(self.converged))
+
+    @property
+    def n_fallback(self) -> int:
+        return int(np.count_nonzero(self.fallback))
+
+    @property
+    def time_s(self) -> np.ndarray:
+        """The shared time grid [s] (one row for every instance)."""
+        return self.dt_s * np.arange(self.n_samples)
+
+    def voltage(self, node: str) -> np.ndarray:
+        """(n_instances, n_samples) waveforms of one node [V]."""
+        if node in ("0", "gnd", "GND", "ground"):
+            return np.zeros((self.n_instances, self.n_samples))
+        try:
+            return self.samples[:, :, self.node_index[node]]
+        except KeyError:
+            raise KeyError(f"unknown node {node!r}") from None
+
+    def source_current(self, name: str) -> np.ndarray:
+        """(n_instances, n_samples) branch currents of one voltage source [A]."""
+        try:
+            return self.samples[:, :, self.branch_index[name]]
+        except KeyError:
+            raise KeyError(f"unknown voltage source {name!r}") from None
+
+    def instance_waveforms(self, i: int) -> TransientResult:
+        """One instance's trajectory as a scalar :class:`TransientResult`."""
+        w = self.samples[i]
+        voltages = {node: w[:, idx] for node, idx in self.node_index.items()}
+        currents = {name: w[:, idx] for name, idx in self.branch_index.items()}
+        return TransientResult(
+            time_s=self.time_s, voltages=voltages, source_currents=currents
+        )
+
+    def statistics(self, node: str, sample: int = -1) -> SweepStatistics:
+        """Converged-instance statistics of one node voltage at one sample."""
+        values = self.voltage(node)[self.converged, sample]
+        if values.size == 0:
+            raise ValueError("no converged instances to summarise")
+        return SweepStatistics(
+            mean=float(values.mean()),
+            std=float(values.std()),
+            minimum=float(values.min()),
+            maximum=float(values.max()),
+            n_instances=self.n_instances,
+            n_converged=self.n_converged,
+        )
+
+
 def _concat_results(parts: list[MonteCarloResult]) -> MonteCarloResult:
     first = parts[0]
     return MonteCarloResult(
@@ -415,37 +657,66 @@ def _concat_results(parts: list[MonteCarloResult]) -> MonteCarloResult:
     )
 
 
-@lru_cache(maxsize=4)
-def _engine_from_pickle(circuit_bytes: bytes) -> "CircuitMonteCarlo":
-    """Rebuild (and cache) an engine inside a pool worker process."""
-    return CircuitMonteCarlo(pickle.loads(circuit_bytes))
-
-
-def _circuit_chunk_kernel(params_block, rng, payload):
-    """SweepPlan kernel: solve one block of variation rows (pool-safe)."""
-    circuit_bytes, x0 = payload
-    engine = _engine_from_pickle(circuit_bytes)
-    scale = np.stack([row[0] for row in params_block])
-    shift = np.stack([row[1] for row in params_block])
-    result = engine._solve_chunk(
-        FETVariation(drive_scale=scale, vth_shift_v=shift), x0
+def _concat_transient(parts: list[TransientMCResult]) -> TransientMCResult:
+    first = parts[0]
+    return TransientMCResult(
+        samples=np.concatenate([p.samples for p in parts], axis=0),
+        dt_s=first.dt_s,
+        converged=np.concatenate([p.converged for p in parts]),
+        fallback=np.concatenate([p.fallback for p in parts]),
+        node_index=first.node_index,
+        branch_index=first.branch_index,
     )
-    return [result.take_instance(i) for i in range(result.n_instances)]
 
 
-class CircuitMonteCarlo:
-    """Solve N parameter-perturbed DC instances of one compiled circuit.
+# ---------------------------------------------------------------------------
+# Batched Newton over one compiled stamp plan (shared DC/transient core).
+# ---------------------------------------------------------------------------
 
-    The stamp plan is compiled once; each chunk of instances is solved
-    by a batched damped Newton iteration sharing the plan's constant
-    linear matrix and FET-group index arrays.  Per-iteration work is
-    one ``linearize`` call per device-model group (over *all* active
-    instances' bias points at once) plus one batched LAPACK solve over
-    the stacked Jacobians.  Convergence is judged per instance with the
-    scalar solver's relative+absolute criterion; stragglers get a gmin
-    retry ladder, and anything still unconverged is reported as such in
-    :class:`MonteCarloResult` rather than raising.
+
+@dataclass(frozen=True)
+class _BatchContext:
+    """Evaluation context of one batched solve (DC or one transient step).
+
+    ``prevpad`` is the padded previous-solution stack ``(m, size + 1)``
+    and ``state_currents`` the trapezoidal companion history ``(m,
+    n_caps)`` — both per-instance, so the line search narrows them with
+    :meth:`take` alongside the variation rows.
     """
+
+    time_s: float | None = None
+    dt_s: float | None = None
+    integrator: str = "trapezoidal"
+    prevpad: np.ndarray | None = None
+    state_currents: np.ndarray | None = None
+
+    def take(self, rows) -> "_BatchContext":
+        if self.prevpad is None:
+            return self
+        return _BatchContext(
+            time_s=self.time_s,
+            dt_s=self.dt_s,
+            integrator=self.integrator,
+            prevpad=self.prevpad[rows],
+            state_currents=(
+                None if self.state_currents is None else self.state_currents[rows]
+            ),
+        )
+
+
+_DC_CONTEXT = _BatchContext()
+
+
+class _BatchedNewtonEngine:
+    """Shared core of the circuit engines: one compiled plan, N instances.
+
+    Owns the compiled stamp plan, the FET-group to variation-column
+    mapping, the stacked residual/Jacobian evaluation
+    (:meth:`_evaluate_batch`) and the batched damped Newton iteration
+    (:meth:`_newton_batch`), in both DC and transient-step contexts.
+    """
+
+    _ENGINE_NAME = "batched engine"
 
     def __init__(self, circuit: Circuit):
         self.circuit = circuit
@@ -455,21 +726,17 @@ class CircuitMonteCarlo:
             raise UnsupportedElement(
                 "circuit contains element types the stamp plan cannot compile"
             )
-        if plan.use_sparse:
-            raise ValueError(
-                "batched Monte Carlo supports dense plans only "
-                f"(size {plan.size} >= sparse threshold); solve per instance instead"
-            )
         self.plan = plan
         self.fets = tuple(el for el in circuit.elements if isinstance(el, FET))
         if not self.fets:
             raise ValueError("circuit has no FETs to perturb")
         self.fet_names = tuple(f.name for f in self.fets)
         column = {id(f): j for j, f in enumerate(self.fets)}
-        self._group_cols = [
-            np.array([column[id(f)] for f in group.elements], dtype=np.intp)
-            for group in plan.fet_groups
-        ]
+        if not plan.use_sparse:
+            self._group_cols = [
+                np.array([column[id(f)] for f in group.elements], dtype=np.intp)
+                for group in plan.fet_groups
+            ]
         self.node_index = {
             node: self.system.node_index(node) for node in circuit.node_names
         }
@@ -478,34 +745,11 @@ class CircuitMonteCarlo:
             for el in circuit.elements
             if isinstance(el, VoltageSource)
         }
-        self._x_nominal: np.ndarray | None = None
         self._offset_cache: dict[int, tuple[np.ndarray, np.ndarray]] = {}
 
-    # -- public API -------------------------------------------------------------
-    def nominal_solution(self) -> np.ndarray:
-        """The unperturbed DC solution (cached); seeds every instance."""
-        if self._x_nominal is None:
-            self._x_nominal = solve_dc(self.system)
-        return self._x_nominal
-
-    def run(
-        self,
-        variation: FETVariation | None = None,
-        *,
-        n_instances: int | None = None,
-        chunk_size: int | None = None,
-        workers: int | None = None,
-    ) -> MonteCarloResult:
-        """Solve all instances; returns stacked solutions in input order.
-
-        ``chunk_size`` is the batch width (defaults to
-        :data:`DEFAULT_CIRCUIT_CHUNK`); ``workers`` > 1 ships chunks to
-        a process pool (the circuit is pickled once, workers cache the
-        compiled engine).  Results are independent of instance order
-        and, to solver tolerance, of chunking and pooling — each
-        instance's Newton iteration is elementwise-independent of its
-        batch neighbours.
-        """
+    def _check_variation(
+        self, variation: FETVariation | None, n_instances: int | None
+    ) -> FETVariation:
         if variation is None:
             if n_instances is None:
                 raise ValueError("give a variation or n_instances")
@@ -515,40 +759,7 @@ class CircuitMonteCarlo:
                 f"variation has {variation.n_fets} FET columns, "
                 f"circuit has {len(self.fets)} FETs"
             )
-        n = variation.n_instances
-        x0 = self.nominal_solution()
-        if chunk_size is None:
-            chunk_size = DEFAULT_CIRCUIT_CHUNK
-            if workers is not None and workers > 1:
-                # A pooled run needs at least one chunk per worker to
-                # parallelise at all.
-                chunk_size = min(chunk_size, -(-n // workers))
-
-        if workers is not None and workers > 1:
-            # Route chunk dispatch through the generic engine: the
-            # kernel rebuilds (and caches) this engine in each worker.
-            sweep = SweepPlan(
-                _circuit_chunk_kernel,
-                vectorized=True,
-                payload=(pickle.dumps(self.circuit), x0.copy()),
-                substream_block=chunk_size,
-            )
-            rows = list(zip(variation.drive_scale, variation.vth_shift_v))
-            per_instance = sweep.run(rows, chunk_size=chunk_size, workers=workers)
-            x = np.stack([row[0] for row in per_instance])
-            converged = np.array([row[1] for row in per_instance], dtype=bool)
-            return MonteCarloResult(
-                x=x,
-                converged=converged,
-                node_index=self.node_index,
-                branch_index=self.branch_index,
-            )
-
-        parts = [
-            self._solve_chunk(variation.take(slice(start, stop)), x0)
-            for start, stop in _as_blocks(n, chunk_size)
-        ]
-        return _concat_results(parts)
+        return variation
 
     # -- batched evaluation -----------------------------------------------------
     def _offsets(self, m: int) -> tuple[np.ndarray, np.ndarray]:
@@ -568,8 +779,17 @@ class CircuitMonteCarlo:
         x: np.ndarray,
         variation: FETVariation,
         gmin: float = 0.0,
+        ctx: _BatchContext = _DC_CONTEXT,
     ) -> tuple[np.ndarray, np.ndarray]:
-        """Stacked DC residuals (m, size) and Jacobians (m, size, size)."""
+        """Stacked residuals (m, size) and Jacobians (m, size, size).
+
+        Mirrors :meth:`repro.circuit.assembly.StampPlan.evaluate` term
+        by term (same operation order) over a stack of instances.  The
+        linear residual uses a batched gemv (``matmul`` against column
+        vectors) rather than one gemm, so each row is bitwise identical
+        to the scalar path's ``matrix @ x`` — the root of the engines'
+        chunking/order/pool bitwise-invariance contract.
+        """
         plan = self.plan
         size = plan.size
         m = x.shape[0]
@@ -577,18 +797,24 @@ class CircuitMonteCarlo:
 
         xpad = np.zeros((m, size + 1))
         xpad[:, :size] = x
-        linear = plan._linear_system(None, "trapezoidal")
+        linear = plan._linear_system(ctx.dt_s, ctx.integrator)
 
         rpad = np.zeros((m, size + 1))
-        rpad[:, :size] = x @ linear.matrix.T
+        rpad[:, :size] = np.matmul(linear.matrix, x[..., None])[..., 0]
         rflat = rpad.reshape(-1)
         if plan.vsrc_branch.size:
-            levels = np.array([el.level(None) for el in plan.vsources])
+            levels = np.array([el.level(ctx.time_s) for el in plan.vsources])
             rpad[:, plan.vsrc_branch] -= levels
         if plan.isrc_p.size:
-            currents = np.array([el.level(None) for el in plan.isources])
+            currents = np.array([el.level(ctx.time_s) for el in plan.isources])
             np.add.at(rflat, row_pad + plan.isrc_p, currents)
             np.add.at(rflat, row_pad + plan.isrc_n, -currents)
+        if ctx.dt_s is not None and plan.cap_c.size:
+            history = plan.cap_history_rhs(
+                ctx.prevpad, linear.cap_geq, ctx.integrator, ctx.state_currents
+            )
+            cap_vals = np.concatenate((history, -history), axis=1)
+            np.add.at(rflat, row_pad + plan.cap_scatter, cap_vals)
 
         jac = np.empty((m, size, size))
         jac[:] = linear.matrix
@@ -637,6 +863,7 @@ class CircuitMonteCarlo:
         variation: FETVariation,
         gmin: float = 0.0,
         max_iterations: int = _MAX_ITERATIONS,
+        ctx: _BatchContext = _DC_CONTEXT,
     ) -> tuple[np.ndarray, np.ndarray]:
         """Damped Newton on every instance at once; returns (x, converged).
 
@@ -649,7 +876,7 @@ class CircuitMonteCarlo:
         """
         m = x0.shape[0]
         x = x0.copy()
-        residual, jacobian = self._evaluate_batch(x, variation, gmin)
+        residual, jacobian = self._evaluate_batch(x, variation, gmin, ctx)
         norm = np.abs(residual).max(axis=1)
         tolerance = _RESIDUAL_ATOL + _RESIDUAL_RTOL * norm
         converged = norm <= tolerance
@@ -688,7 +915,7 @@ class CircuitMonteCarlo:
                 rows = active[pending]
                 x_trial = x[rows] + damping[pending, None] * step[pending]
                 r_trial, j_trial = self._evaluate_batch(
-                    x_trial, variation.take(rows), gmin
+                    x_trial, variation.take(rows), gmin, ctx.take(rows)
                 )
                 n_trial = np.abs(r_trial).max(axis=1)
                 ok = (n_trial < norm[rows]) | (n_trial <= tolerance[rows])
@@ -717,6 +944,33 @@ class CircuitMonteCarlo:
             active = active[keep]
         return x, converged
 
+    def _rescue_batch(
+        self,
+        x_seed: np.ndarray,
+        x: np.ndarray,
+        converged: np.ndarray,
+        variation: FETVariation,
+        ctx: _BatchContext = _DC_CONTEXT,
+    ) -> None:
+        """Walk unconverged instances down the gmin rescue ladder (in place).
+
+        Same spirit as continuation's adaptive stepping, fixed schedule
+        — only ever runs on the few failed instances.  Only the final
+        unshunted stage decides: its entry point is already near the
+        solution, so the relative criterion is meaningful there.
+        """
+        failed = np.flatnonzero(~converged)
+        if not failed.size:
+            return
+        sub = variation.take(failed)
+        x_fail = np.tile(x_seed, (failed.size, 1))
+        for gmin in _GMIN_RESCUE_LADDER:
+            x_fail, stage_ok = self._newton_batch(
+                x_fail, sub, gmin=gmin, ctx=ctx.take(failed)
+            )
+        x[failed[stage_ok]] = x_fail[stage_ok]
+        converged[failed[stage_ok]] = True
+
     @staticmethod
     def _solve_rows(jacobians: np.ndarray, rhs: np.ndarray):
         """Row-by-row fallback when the batched solve hits a singular matrix."""
@@ -729,6 +983,129 @@ class CircuitMonteCarlo:
                 dead.append(i)
         return steps, np.array(dead, dtype=np.intp)
 
+
+@lru_cache(maxsize=4)
+def _engine_from_pickle(circuit_bytes: bytes) -> "CircuitMonteCarlo":
+    """Rebuild (and cache) an engine inside a pool worker process."""
+    return CircuitMonteCarlo(pickle.loads(circuit_bytes))
+
+
+def _circuit_chunk_kernel(params_block, rng, payload):
+    """SweepPlan kernel: solve one block of variation rows (pool-safe)."""
+    circuit_bytes, x0 = payload
+    engine = _engine_from_pickle(circuit_bytes)
+    scale = np.stack([row[0] for row in params_block])
+    shift = np.stack([row[1] for row in params_block])
+    result = engine._solve_chunk(
+        FETVariation(drive_scale=scale, vth_shift_v=shift), x0
+    )
+    return [result.take_instance(i) for i in range(result.n_instances)]
+
+
+class CircuitMonteCarlo(_BatchedNewtonEngine):
+    """Solve N parameter-perturbed DC instances of one compiled circuit.
+
+    The stamp plan is compiled once; each chunk of instances is solved
+    by a batched damped Newton iteration sharing the plan's constant
+    linear matrix and FET-group index arrays.  Per-iteration work is
+    one ``linearize`` call per device-model group (over *all* active
+    instances' bias points at once) plus one batched LAPACK solve over
+    the stacked Jacobians.  Convergence is judged per instance with the
+    scalar solver's relative+absolute criterion; stragglers get a gmin
+    retry ladder, and anything still unconverged is reported as such in
+    :class:`MonteCarloResult` rather than raising.
+
+    Sparse plans (``size >= SPARSE_THRESHOLD``) cannot use the batched
+    dense path: :meth:`run` then solves each instance through the
+    scalar continuation ladder on an explicitly perturbed clone of the
+    circuit, with a one-time logging warning naming the fallback.
+    """
+
+    _ENGINE_NAME = "CircuitMonteCarlo"
+
+    def __init__(self, circuit: Circuit):
+        super().__init__(circuit)
+        self._x_nominal: np.ndarray | None = None
+
+    # -- public API -------------------------------------------------------------
+    def nominal_solution(self) -> np.ndarray:
+        """The unperturbed DC solution (cached); seeds every instance."""
+        if self._x_nominal is None:
+            self._x_nominal = solve_dc(self.system)
+        return self._x_nominal
+
+    def run(
+        self,
+        variation: FETVariation | None = None,
+        *,
+        n_instances: int | None = None,
+        chunk_size: int | None = None,
+        workers: int | None = None,
+    ) -> MonteCarloResult:
+        """Solve all instances; returns stacked solutions in input order.
+
+        ``chunk_size`` is the batch width (defaults to
+        :data:`DEFAULT_CIRCUIT_CHUNK`); ``workers`` > 1 ships chunks to
+        a process pool (the circuit is pickled once, workers cache the
+        compiled engine).  Results are bitwise independent of instance
+        order, chunking and pooling — each instance's Newton iteration
+        is elementwise-independent of its batch neighbours.
+        """
+        variation = self._check_variation(variation, n_instances)
+        n = variation.n_instances
+        if self.plan.use_sparse:
+            _warn_sparse_fallback(self._ENGINE_NAME, self.plan.size)
+            return self._run_sparse(variation)
+        x0 = self.nominal_solution()
+        if chunk_size is None:
+            chunk_size = DEFAULT_CIRCUIT_CHUNK
+            if workers is not None and workers > 1:
+                # A pooled run needs at least one chunk per worker to
+                # parallelise at all.
+                chunk_size = min(chunk_size, -(-n // workers))
+
+        if workers is not None and workers > 1:
+            # Route chunk dispatch through the generic engine: the
+            # kernel rebuilds (and caches) this engine in each worker.
+            sweep = SweepPlan(
+                _circuit_chunk_kernel,
+                vectorized=True,
+                payload=(pickle.dumps(self.circuit), x0.copy()),
+                substream_block=chunk_size,
+            )
+            rows = list(zip(variation.drive_scale, variation.vth_shift_v))
+            per_instance = sweep.run(rows, chunk_size=chunk_size, workers=workers)
+            x = np.stack([row[0] for row in per_instance])
+            converged = np.array([row[1] for row in per_instance], dtype=bool)
+            return MonteCarloResult(
+                x=x,
+                converged=converged,
+                node_index=self.node_index,
+                branch_index=self.branch_index,
+            )
+
+        parts = [
+            self._solve_chunk(variation.take(slice(start, stop)), x0)
+            for start, stop in _as_blocks(n, chunk_size)
+        ]
+        return _concat_results(parts)
+
+    def _run_sparse(self, variation: FETVariation) -> MonteCarloResult:
+        """Per-instance scalar fallback for plans above the dense threshold."""
+        m = variation.n_instances
+        x = np.empty((m, self.plan.size))
+        converged = np.zeros(m, dtype=bool)
+        for i in range(m):
+            system = perturbed_circuit(self.circuit, variation, i).build_system()
+            x[i], report = solve_dc_robust(system)
+            converged[i] = report.converged
+        return MonteCarloResult(
+            x=x,
+            converged=converged,
+            node_index=self.node_index,
+            branch_index=self.branch_index,
+        )
+
     def _solve_chunk(
         self, variation: FETVariation, x0: np.ndarray
     ) -> MonteCarloResult:
@@ -736,25 +1113,326 @@ class CircuitMonteCarlo:
         m = variation.n_instances
         x_start = np.tile(x0, (m, 1))
         x, converged = self._newton_batch(x_start, variation)
-
-        if not converged.all():
-            # Rescue ladder: walk the stragglers down a gmin staircase
-            # (same spirit as continuation's adaptive stepping, fixed
-            # schedule — only ever runs on the few failed instances).
-            failed = np.flatnonzero(~converged)
-            sub = variation.take(failed)
-            x_fail = np.tile(x0, (failed.size, 1))
-            for gmin in (1e-2, 1e-4, 1e-6, 1e-8, 1e-10, 0.0):
-                x_fail, stage_ok = self._newton_batch(x_fail, sub, gmin=gmin)
-            # Only the final unshunted stage decides: its entry point is
-            # already near the solution, so the relative criterion is
-            # meaningful there.
-            x[failed[stage_ok]] = x_fail[stage_ok]
-            converged[failed[stage_ok]] = True
-
+        self._rescue_batch(x0, x, converged, variation)
         return MonteCarloResult(
             x=x,
             converged=converged,
             node_index=self.node_index,
             branch_index=self.branch_index,
         )
+
+
+# ---------------------------------------------------------------------------
+# Batched transient Monte Carlo: N instances time-stepped in lockstep.
+# ---------------------------------------------------------------------------
+
+
+@lru_cache(maxsize=4)
+def _transient_engine_from_pickle(circuit_bytes: bytes) -> "CircuitTransientMC":
+    """Rebuild (and cache) a transient engine inside a pool worker process."""
+    return CircuitTransientMC(pickle.loads(circuit_bytes))
+
+
+def _transient_chunk_kernel(params_block, rng, payload):
+    """SweepPlan kernel: march one block of variation rows (pool-safe)."""
+    circuit_bytes, t_stop_s, dt_s, integrator, step_max_iterations = payload
+    engine = _transient_engine_from_pickle(circuit_bytes)
+    scale = np.stack([row[0] for row in params_block])
+    shift = np.stack([row[1] for row in params_block])
+    part = engine._march_chunk(
+        FETVariation(drive_scale=scale, vth_shift_v=shift),
+        t_stop_s,
+        dt_s,
+        integrator,
+        step_max_iterations,
+    )
+    return [
+        (part.samples[i], bool(part.converged[i]), bool(part.fallback[i]))
+        for i in range(part.n_instances)
+    ]
+
+
+class CircuitTransientMC(_BatchedNewtonEngine):
+    """Time-step N parameter-perturbed instances of one compiled circuit.
+
+    All instances march one shared ``(t_stop, dt, integrator)`` grid in
+    lockstep against the plan's constant per-``(dt, integrator)`` linear
+    matrix.  The t=0 operating point is solved batched from the
+    structural seed (gmin rescue ladder for stragglers, scalar
+    continuation for anything left); each subsequent step runs the
+    batched damped Newton iteration from the previous solutions with
+    the capacitor companion state stacked ``(m, n_caps)``.
+
+    Per-instance robustness: an instance whose step fails batched
+    Newton **falls back to the scalar path individually** — the same
+    adaptive continuation rescue the scalar ``transient()`` applies to
+    a failed step (:func:`~repro.circuit.continuation.solve_dc_robust`
+    on a :func:`perturbed_circuit` clone, anchored at that instance's
+    previous solution and companion state) — and then rejoins the
+    lockstep batch, rather than poisoning its neighbours.  Such
+    instances are reported in ``TransientMCResult.fallback``; only an
+    instance that fails *even the scalar rescue* comes back
+    ``converged=False`` (with NaN samples).
+
+    Determinism: per-instance arithmetic is elementwise throughout, so
+    waveforms are bitwise invariant to chunk size, instance order, and
+    serial vs. process-pool execution, and match the per-instance
+    scalar loop to solver tolerance.
+    """
+
+    _ENGINE_NAME = "CircuitTransientMC"
+
+    def run(
+        self,
+        variation: FETVariation | None = None,
+        t_stop_s: float | None = None,
+        dt_s: float | None = None,
+        *,
+        integrator: str = "trapezoidal",
+        n_instances: int | None = None,
+        chunk_size: int | None = None,
+        workers: int | None = None,
+        step_max_iterations: int = _MAX_ITERATIONS,
+    ) -> TransientMCResult:
+        """March all instances to ``t_stop_s``; samples in input order.
+
+        ``step_max_iterations`` caps each time step's batched Newton
+        iteration before the per-instance scalar fallback engages
+        (exposed for tests; the default matches the scalar solver).
+        Results are bitwise independent of ``chunk_size``, instance
+        order and ``workers``.
+        """
+        if t_stop_s is None or dt_s is None:
+            raise ValueError("give t_stop_s and dt_s")
+        validate_grid(t_stop_s, dt_s, integrator)
+        variation = self._check_variation(variation, n_instances)
+        n = variation.n_instances
+
+        if self.plan.use_sparse:
+            _warn_sparse_fallback(self._ENGINE_NAME, self.plan.size)
+            return self._run_sparse(variation, t_stop_s, dt_s, integrator)
+
+        if chunk_size is None:
+            chunk_size = DEFAULT_CIRCUIT_CHUNK
+            if workers is not None and workers > 1:
+                chunk_size = min(chunk_size, -(-n // workers))
+
+        if workers is not None and workers > 1:
+            sweep = SweepPlan(
+                _transient_chunk_kernel,
+                vectorized=True,
+                payload=(
+                    pickle.dumps(self.circuit),
+                    t_stop_s,
+                    dt_s,
+                    integrator,
+                    step_max_iterations,
+                ),
+                substream_block=chunk_size,
+            )
+            rows = list(zip(variation.drive_scale, variation.vth_shift_v))
+            per_instance = sweep.run(rows, chunk_size=chunk_size, workers=workers)
+            return TransientMCResult(
+                samples=np.stack([row[0] for row in per_instance]),
+                dt_s=dt_s,
+                converged=np.array([row[1] for row in per_instance], dtype=bool),
+                fallback=np.array([row[2] for row in per_instance], dtype=bool),
+                node_index=self.node_index,
+                branch_index=self.branch_index,
+            )
+
+        parts = [
+            self._march_chunk(
+                variation.take(slice(start, stop)),
+                t_stop_s,
+                dt_s,
+                integrator,
+                step_max_iterations,
+            )
+            for start, stop in _as_blocks(n, chunk_size)
+        ]
+        return _concat_transient(parts)
+
+    # -- the lockstep march -----------------------------------------------------
+    def _march_chunk(
+        self,
+        variation: FETVariation,
+        t_stop_s: float,
+        dt_s: float,
+        integrator: str,
+        step_max_iterations: int,
+    ) -> TransientMCResult:
+        plan = self.plan
+        size = plan.size
+        n_steps = validate_grid(t_stop_s, dt_s, integrator)
+        m = variation.n_instances
+        samples = np.empty((m, n_steps + 1, size))
+        converged = np.ones(m, dtype=bool)
+        fallback = np.zeros(m, dtype=bool)
+        # Perturbed scalar systems, built lazily for instances that need
+        # a scalar rescue (and cached: a stiff instance tends to need
+        # rescuing at several steps of the same switching edge).
+        scalar_systems: dict[int, object] = {}
+
+        # t=0 operating point: batched Newton from the same structural
+        # seed the scalar path's continuation ladder starts from, gmin
+        # ladder for stragglers, full scalar continuation for the rest.
+        ctx0 = _BatchContext(time_s=0.0)
+        seed = structural_seed(self.system, time_s=0.0)
+        x = np.tile(seed, (m, 1))
+        x, ok = self._newton_batch(x, variation, ctx=ctx0)
+        self._rescue_batch(seed, x, ok, variation, ctx=ctx0)
+        for i in np.flatnonzero(~ok):
+            i = int(i)
+            fallback[i] = True
+            x_i, report = solve_dc_robust(
+                self._scalar_system(scalar_systems, variation, i), time_s=0.0
+            )
+            if report.converged:
+                x[i] = x_i
+                ok[i] = True
+            else:
+                converged[i] = False
+        samples[:, 0] = x
+
+        alive = np.flatnonzero(ok)
+        x_alive = x[alive]
+        prevpad = np.zeros((alive.size, size + 1))
+        prevpad[:, :size] = x_alive
+        state = np.zeros((alive.size, len(plan.cap_names)))
+
+        for step in range(1, n_steps + 1):
+            if not alive.size:
+                break
+            ctx = _BatchContext(
+                time_s=step * dt_s,
+                dt_s=dt_s,
+                integrator=integrator,
+                prevpad=prevpad,
+                state_currents=state,
+            )
+            x_next, ok_step = self._newton_batch(
+                x_alive,
+                variation.take(alive),
+                ctx=ctx,
+                max_iterations=step_max_iterations,
+            )
+            if not ok_step.all():
+                # A failed step falls back to the scalar path
+                # individually — the same adaptive continuation rescue
+                # transient() applies to a failed step (anchored at that
+                # instance's previous solution and companion state) —
+                # after which the instance rejoins the lockstep batch.
+                for row in np.flatnonzero(~ok_step):
+                    row = int(row)
+                    instance = int(alive[row])
+                    fallback[instance] = True
+                    system = self._scalar_system(scalar_systems, variation, instance)
+                    state_dict = {
+                        name: float(value)
+                        for name, value in zip(plan.cap_names, state[row])
+                    }
+                    x_rescued, report = solve_dc_robust(
+                        system,
+                        prevpad[row, :size],
+                        time_s=ctx.time_s,
+                        dt_s=dt_s,
+                        previous_x=prevpad[row, :size],
+                        integrator=integrator,
+                        state=state_dict,
+                    )
+                    if report.converged:
+                        x_next[row] = x_rescued
+                        ok_step[row] = True
+                    else:
+                        converged[instance] = False
+                if not ok_step.all():
+                    # Even the scalar rescue failed: drop the instance.
+                    alive = alive[ok_step]
+                    x_next = x_next[ok_step]
+                    prevpad = prevpad[ok_step]
+                    state = state[ok_step]
+                    if not alive.size:
+                        break
+            xpad = np.zeros((alive.size, size + 1))
+            xpad[:, :size] = x_next
+            # Update trapezoidal history currents at the accepted solution.
+            if integrator == "trapezoidal" and state.shape[1]:
+                state = plan.cap_state_update(xpad, prevpad, dt_s, integrator, state)
+            samples[alive, step] = x_next
+            prevpad = xpad
+            x_alive = x_next
+
+        samples[~converged] = np.nan
+
+        return TransientMCResult(
+            samples=samples,
+            dt_s=dt_s,
+            converged=converged,
+            fallback=fallback,
+            node_index=self.node_index,
+            branch_index=self.branch_index,
+        )
+
+    # -- scalar fallbacks --------------------------------------------------------
+    def _scalar_system(
+        self, cache: dict, variation: FETVariation, instance: int
+    ):
+        """The perturbed scalar system of one instance (cached per run)."""
+        system = cache.get(instance)
+        if system is None:
+            system = perturbed_circuit(
+                self.circuit, variation, instance
+            ).build_system()
+            cache[instance] = system
+        return system
+
+    def _run_sparse(
+        self,
+        variation: FETVariation,
+        t_stop_s: float,
+        dt_s: float,
+        integrator: str,
+    ) -> TransientMCResult:
+        """Per-instance scalar fallback for plans above the dense threshold."""
+        n_steps = validate_grid(t_stop_s, dt_s, integrator)
+        m = variation.n_instances
+        samples = np.empty((m, n_steps + 1, self.plan.size))
+        converged = np.ones(m, dtype=bool)
+        for i in range(m):
+            system = perturbed_circuit(self.circuit, variation, i).build_system()
+            try:
+                samples[i] = transient_samples(system, t_stop_s, dt_s, integrator)
+            except ConvergenceError:
+                converged[i] = False
+                samples[i] = np.nan
+        return TransientMCResult(
+            samples=samples,
+            dt_s=dt_s,
+            converged=converged,
+            fallback=np.ones(m, dtype=bool),
+            node_index=self.node_index,
+            branch_index=self.branch_index,
+        )
+
+    def scalar_reference(
+        self,
+        variation: FETVariation,
+        t_stop_s: float,
+        dt_s: float,
+        integrator: str = "trapezoidal",
+    ) -> np.ndarray:
+        """The per-instance scalar loop this engine replaces (for tests/benchmarks).
+
+        Integrates every instance through :func:`repro.circuit.transient.
+        transient_samples` on an explicitly perturbed circuit clone;
+        raises :class:`~repro.circuit.continuation.ConvergenceError` if
+        any instance fails.  Returns ``(n_instances, n_steps + 1, size)``.
+        """
+        variation = self._check_variation(variation, None)
+        n_steps = validate_grid(t_stop_s, dt_s, integrator)
+        out = np.empty((variation.n_instances, n_steps + 1, self.plan.size))
+        for i in range(variation.n_instances):
+            system = perturbed_circuit(self.circuit, variation, i).build_system()
+            out[i] = transient_samples(system, t_stop_s, dt_s, integrator)
+        return out

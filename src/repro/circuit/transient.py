@@ -5,6 +5,18 @@ waveform values) and marches the companion-model system forward.  The
 trapezoidal rule (default) is second-order accurate — validated against
 closed-form RC responses in the test suite — while backward Euler is
 available for heavily damped startup transients.
+
+The scalar entry point :func:`transient` is composed from three
+reusable pieces so the batched transient Monte Carlo engine
+(:class:`repro.circuit.sweep.CircuitTransientMC`) can share them:
+
+* :func:`validate_grid` — the one place the ``(t_stop, dt,
+  integrator)`` contract is checked and the step count is derived;
+* :func:`transient_samples` — the time-marching loop over raw solution
+  vectors (per-step Newton with the continuation rescue), returning the
+  ``(n_steps + 1, size)`` sample matrix;
+* :func:`result_from_samples` — the mapping from a sample matrix to the
+  named-waveform :class:`TransientResult`.
 """
 
 from __future__ import annotations
@@ -15,10 +27,16 @@ import numpy as np
 
 from repro.circuit.continuation import ConvergenceError, solve_dc_robust
 from repro.circuit.elements import VoltageSource
-from repro.circuit.netlist import Circuit, CircuitError
+from repro.circuit.netlist import Circuit, CircuitError, MNASystem
 from repro.circuit.solver import newton_solve, solve_dc
 
-__all__ = ["TransientResult", "transient"]
+__all__ = [
+    "TransientResult",
+    "transient",
+    "transient_samples",
+    "result_from_samples",
+    "validate_grid",
+]
 
 _INTEGRATORS = ("trapezoidal", "backward-euler")
 
@@ -44,21 +62,12 @@ class TransientResult:
             raise CircuitError(f"unknown voltage source {name!r}") from None
 
 
-def transient(
-    circuit: Circuit,
-    t_stop_s: float,
-    dt_s: float,
-    integrator: str = "trapezoidal",
-    x0: np.ndarray | None = None,
-) -> TransientResult:
-    """Integrate the circuit from its t=0 operating point to ``t_stop_s``.
+def validate_grid(t_stop_s: float, dt_s: float, integrator: str) -> int:
+    """Check the time-grid contract; returns the step count.
 
-    The initial DC solve cold-starts through the adaptive continuation
-    ladder of :mod:`repro.circuit.continuation` (structural seeding,
-    adaptive gmin/source stepping, pseudo-transient fallback), so
-    ``x0`` is no longer needed for long FET chains; it remains as an
-    optional override for callers that want to select a particular
-    operating point of a multistable circuit.
+    Shared by the scalar :func:`transient` and the batched
+    :class:`repro.circuit.sweep.CircuitTransientMC`, so both reject the
+    same inputs and march the identical grid.
     """
     if t_stop_s <= 0.0 or dt_s <= 0.0:
         raise CircuitError("t_stop and dt must be positive")
@@ -66,12 +75,28 @@ def transient(
         raise CircuitError(f"dt {dt_s} exceeds t_stop {t_stop_s}")
     if integrator not in _INTEGRATORS:
         raise CircuitError(f"unknown integrator {integrator!r}; use {_INTEGRATORS}")
+    return int(round(t_stop_s / dt_s))
 
-    system = circuit.build_system()
+
+def transient_samples(
+    system: MNASystem,
+    t_stop_s: float,
+    dt_s: float,
+    integrator: str = "trapezoidal",
+    x0: np.ndarray | None = None,
+) -> np.ndarray:
+    """March the system from its t=0 operating point; returns raw samples.
+
+    The ``(n_steps + 1, size)`` matrix stacks the DC solution at t=0 and
+    every accepted time step.  Each step runs plain Newton from the
+    previous solution; a failed step is rescued through the adaptive
+    continuation ladder anchored at the last accepted solution, and a
+    rescue failure raises :class:`ConvergenceError` with the full
+    ladder history.
+    """
+    n_steps = validate_grid(t_stop_s, dt_s, integrator)
     x = solve_dc(system, x0, time_s=0.0)
-    sources = [el for el in circuit.elements if isinstance(el, VoltageSource)]
 
-    n_steps = int(round(t_stop_s / dt_s))
     samples = np.empty((n_steps + 1, system.size))
     samples[0] = x
     state: dict[str, float] = {}
@@ -113,12 +138,44 @@ def transient(
             system.update_capacitor_state(x_next, previous_x, dt_s, integrator, state)
         samples[step] = x_next
         previous_x = x_next
+    return samples
 
-    times = dt_s * np.arange(n_steps + 1)
+
+def result_from_samples(
+    system: MNASystem, samples: np.ndarray, dt_s: float
+) -> TransientResult:
+    """Name the columns of a raw sample matrix as waveforms."""
+    circuit = system.circuit
+    times = dt_s * np.arange(samples.shape[0])
     voltages = {
         node: samples[:, system.node_index(node)] for node in circuit.node_names
     }
-    currents = {src.name: samples[:, src.branch_index] for src in sources}
+    currents = {
+        el.name: samples[:, el.branch_index]
+        for el in circuit.elements
+        if isinstance(el, VoltageSource)
+    }
     return TransientResult(
         time_s=times, voltages=voltages, source_currents=currents
     )
+
+
+def transient(
+    circuit: Circuit,
+    t_stop_s: float,
+    dt_s: float,
+    integrator: str = "trapezoidal",
+    x0: np.ndarray | None = None,
+) -> TransientResult:
+    """Integrate the circuit from its t=0 operating point to ``t_stop_s``.
+
+    The initial DC solve cold-starts through the adaptive continuation
+    ladder of :mod:`repro.circuit.continuation` (structural seeding,
+    adaptive gmin/source stepping, pseudo-transient fallback), so
+    ``x0`` is no longer needed for long FET chains; it remains as an
+    optional override for callers that want to select a particular
+    operating point of a multistable circuit.
+    """
+    system = circuit.build_system()
+    samples = transient_samples(system, t_stop_s, dt_s, integrator, x0)
+    return result_from_samples(system, samples, dt_s)

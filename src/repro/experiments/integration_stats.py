@@ -16,7 +16,10 @@ discussion:
 * the same tube statistics pushed down to circuit level: a batched
   inverter Monte Carlo (:class:`repro.circuit.sweep.CircuitMonteCarlo`)
   measures how the array's on-current spread widens the mid-swing
-  output distribution of a logic stage.
+  output distribution of a logic stage, and a batched *transient*
+  Monte Carlo (:class:`repro.circuit.sweep.CircuitTransientMC` via
+  :func:`repro.analysis.timing.delay_energy_distribution`) measures the
+  gate-delay sigma the same spread implies for switching speed.
 
 Every Monte Carlo here runs through the batched sweep engine, so the
 whole pipeline is reproducible from the single ``seed`` regardless of
@@ -30,6 +33,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.analysis.timing import delay_energy_distribution
 from repro.circuit.cells import build_inverter
 from repro.circuit.sweep import CircuitMonteCarlo, FETVariation
 from repro.circuit.waveforms import DC
@@ -37,7 +41,11 @@ from repro.devices.empirical import AlphaPowerFET
 from repro.integration.growth import GrowthDistribution
 from repro.integration.placement import AlignedGrowth, TrenchDeposition
 from repro.integration.sorting import GEL_CHROMATOGRAPHY, passes_to_reach_purity
-from repro.integration.variability import ArrayResult, ArraySpec, CNFETArrayModel
+from repro.integration.variability import (
+    ArraySpec,
+    CNFETArrayModel,
+    array_drive_sigma,
+)
 from repro.integration.yields import GateYieldModel, shulaker_computer_yield
 from repro.logic.faults import functional_yield
 
@@ -61,6 +69,7 @@ class IntegrationResult:
     computer_yield_with_removal: float
     functional_yield_mc: float
     inverter_vm_sigma_mv: float
+    inverter_delay_sigma_ps: float
 
     def rows(self) -> list[tuple[str, float]]:
         return [
@@ -75,21 +84,8 @@ class IntegrationResult:
             ("178-FET computer yield, with VMR", self.computer_yield_with_removal),
             ("functional yield (program MC)", self.functional_yield_mc),
             ("inverter V_M sigma [mV]", self.inverter_vm_sigma_mv),
+            ("inverter delay sigma [ps]", self.inverter_delay_sigma_ps),
         ]
-
-
-def _array_drive_sigma(array: ArrayResult) -> float:
-    """Relative on-current spread of the conducting devices.
-
-    This is the drive-strength coefficient of variation the array
-    statistics predict for a logic transistor built from the same
-    material; clipped to keep the lognormal drive model well-posed.
-    """
-    on = array.on_currents_a()
-    conducting = on[on > 0.0]
-    if conducting.size < 2:
-        return 0.0
-    return float(min(conducting.std() / conducting.mean(), 0.5))
 
 
 def inverter_variability_sigma_v(
@@ -156,6 +152,7 @@ def run_integration_stats(
     n_functional_trials: int = 120,
     seed: int = 20140312,
     n_circuit_instances: int = 256,
+    n_delay_instances: int = 64,
     chunk_size: int | None = None,
     workers: int | None = None,
 ) -> IntegrationResult:
@@ -199,11 +196,24 @@ def run_integration_stats(
         workers=workers,
     )
 
+    drive_sigma = array_drive_sigma(array)
     sigma_v = inverter_variability_sigma_v(
-        _array_drive_sigma(array),
+        drive_sigma,
         n_instances=n_circuit_instances,
         seed=seed,
         chunk_size=chunk_size,
+    )
+
+    # The same drive spread pushed through actual switching transients:
+    # one batched CircuitTransientMC run over every fabricated copy.
+    delay_dist = delay_energy_distribution(
+        AlphaPowerFET(),
+        n_delay_instances,
+        drive_sigma=drive_sigma,
+        seed=seed,
+        vdd=VDD,
+        chunk_size=chunk_size,
+        workers=workers,
     )
 
     return IntegrationResult(
@@ -218,4 +228,5 @@ def run_integration_stats(
         computer_yield_with_removal=with_removal.circuit_yield,
         functional_yield_mc=functional.functional_yield,
         inverter_vm_sigma_mv=sigma_v * 1e3,
+        inverter_delay_sigma_ps=delay_dist.delay_sigma_s * 1e12,
     )

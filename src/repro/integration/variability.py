@@ -28,7 +28,13 @@ import numpy as np
 from repro.circuit.sweep import SweepPlan, ensure_seed, lognormal_unit_mean
 from repro.physics.constants import CNT_QUANTUM_RESISTANCE_OHM
 
-__all__ = ["ArraySpec", "DeviceSample", "ArrayResult", "CNFETArrayModel"]
+__all__ = [
+    "ArraySpec",
+    "DeviceSample",
+    "ArrayResult",
+    "CNFETArrayModel",
+    "array_drive_sigma",
+]
 
 
 @dataclass(frozen=True)
@@ -156,6 +162,25 @@ class ArrayResult:
     def on_off_ratios(self) -> np.ndarray:
         with np.errstate(divide="ignore", invalid="ignore"):
             return np.where(self._i_off > 0.0, self._i_on / self._i_off, np.inf)
+
+
+def array_drive_sigma(array: ArrayResult, clip: float = 0.5) -> float:
+    """Relative on-current spread of an array's conducting devices.
+
+    This is the drive-strength coefficient of variation the array
+    statistics predict for a logic transistor built from the same
+    material — the bridge from tube-level Monte Carlo to circuit-level
+    :class:`repro.circuit.sweep.FETVariation` draws (both the DC
+    switching-threshold ladder and the transient delay distribution in
+    :mod:`repro.experiments.integration_stats` feed on it).  Clipped at
+    ``clip`` to keep the lognormal drive model well-posed; 0.0 when
+    fewer than two devices conduct.
+    """
+    on = array.on_currents_a()
+    conducting = on[on > 0.0]
+    if conducting.size < 2:
+        return 0.0
+    return float(min(conducting.std() / conducting.mean(), clip))
 
 
 def _sample_block(params_block, rng, model: "CNFETArrayModel"):

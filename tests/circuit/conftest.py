@@ -1,0 +1,37 @@
+"""Shared circuit-test fixtures."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuit.netlist import Circuit
+from repro.circuit.waveforms import DC
+from repro.devices.empirical import AlphaPowerFET
+
+
+@pytest.fixture
+def sparse_fet_ladder():
+    """Factory for a cheap circuit above ``SPARSE_THRESHOLD``.
+
+    One inverting FET feeding a long resistor ladder: crosses the
+    sparse-assembly threshold (>= 128 unknowns) while staying trivial
+    to solve, so the sweep engines' per-instance sparse fallbacks can
+    be exercised without expensive deep-chain continuation solves.
+    Both the DC (``test_sweep``) and transient (``test_transient_mc``)
+    fallback tests build from this one shape.
+    """
+
+    def build(input_waveform=None, load_f: float = 0.0, n_sections: int = 130):
+        circuit = Circuit("sparse-ladder")
+        circuit.add_voltage_source("VDD", "vdd", "0", DC(1.0))
+        circuit.add_voltage_source("VIN", "n0", "0", input_waveform or DC(1.0))
+        circuit.add_fet("MN", "n1", "n0", "0", AlphaPowerFET())
+        circuit.add_resistor("RP", "vdd", "n1", 1e5)
+        if load_f > 0.0:
+            circuit.add_capacitor("CL", "n1", "0", load_f)
+        for i in range(1, n_sections):
+            circuit.add_resistor(f"R{i}", f"n{i}", f"n{i+1}", 1e3)
+        circuit.add_resistor("RT", f"n{n_sections}", "0", 1e6)
+        return circuit
+
+    return build

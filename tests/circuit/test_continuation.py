@@ -164,6 +164,46 @@ class TestConvergenceReport:
         assert set(report.stages_used) >= {"newton", "gmin", "source", "ptc"}
         assert "FAILED" in str(excinfo.value)
 
+    def test_report_carries_full_ladder_history(self):
+        """ConvergenceError.report records every rung, not just the last.
+
+        The continuation rescue paths (transient step rescue, the sweep
+        engines' per-instance fallbacks) rely on this history for
+        diagnosis: each attempt carries its stage, homotopy parameter,
+        iteration count and final residual, in execution order.
+        """
+        c = Circuit()
+        c.add_current_source("I1", "0", "g", DC(1e-6))
+        c.add_fet("M1", "d", "g", "0", AlphaPowerFET())
+        c.add_resistor("RD", "d", "0", 1e4)
+        system = c.build_system()
+        with pytest.raises(ConvergenceError) as excinfo:
+            solve_dc(system)
+        report = excinfo.value.report
+
+        # Every strategy the ladder walked left multiple recorded rungs.
+        assert len(report.attempts) > len(report.stages_used)
+        assert report.total_iterations == sum(
+            a.iterations for a in report.attempts
+        )
+        # Stages appear in ladder order, and homotopy stages record the
+        # continuation parameter of each rung.
+        assert report.stages_used[0] == "newton"
+        for attempt in report.attempts:
+            assert attempt.stage in {"newton", "gmin", "source", "ptc"}
+            assert np.isfinite(attempt.residual) or attempt.residual == np.inf
+            if attempt.stage in {"gmin", "source", "ptc"}:
+                assert attempt.parameter is not None
+        gmin_params = [
+            a.parameter for a in report.attempts if a.stage == "gmin"
+        ]
+        assert len(set(gmin_params)) > 1  # the ladder actually stepped
+        # describe() names each stage with its attempt counts.
+        text = report.describe()
+        for stage in report.stages_used:
+            assert stage in text
+        assert "last parameter" in text
+
 
 class TestUnifiedConvergenceCriterion:
     def test_stall_below_tolerance_is_not_converged(self):

@@ -278,13 +278,41 @@ class TestCircuitMonteCarlo:
         with pytest.raises(ValueError):
             engine.run()
 
-    def test_rejects_sparse_plans(self):
-        # n_stages + 4 unknowns: 130 stages crosses SPARSE_THRESHOLD=128.
-        big = build_inverter_chain(
-            AlphaPowerFET(), n_stages=130, input_waveform=DC(0.0)
-        )
-        with pytest.raises(ValueError):
-            CircuitMonteCarlo(big)
+    def test_sparse_plan_falls_back_per_instance_with_warning(
+        self, caplog, monkeypatch, sparse_fet_ladder
+    ):
+        import logging
+
+        import repro.circuit.sweep as sweep_module
+        from repro.circuit.solver import solve_dc
+        from repro.circuit.sweep import perturbed_circuit
+
+        monkeypatch.setattr(sweep_module, "_SPARSE_FALLBACK_WARNED", set())
+        circuit = sparse_fet_ladder()
+        engine = CircuitMonteCarlo(circuit)
+        assert engine.plan.use_sparse
+        variation = FETVariation.sample(2, 1, seed=3, drive_sigma=0.2)
+        with caplog.at_level(logging.WARNING, logger="repro.circuit.sweep"):
+            result = engine.run(variation)
+        warnings = [
+            r for r in caplog.records if "SPARSE_THRESHOLD" in r.getMessage()
+        ]
+        assert len(warnings) == 1
+        assert "CircuitMonteCarlo" in warnings[0].getMessage()
+        assert result.converged.all()
+        for i in range(2):
+            reference = solve_dc(
+                perturbed_circuit(circuit, variation, i).build_system()
+            )
+            assert np.abs(result.x[i] - reference).max() < 1e-9
+
+        # One-time: the second run does not warn again.
+        caplog.clear()
+        with caplog.at_level(logging.WARNING, logger="repro.circuit.sweep"):
+            engine.run(variation)
+        assert not [
+            r for r in caplog.records if "SPARSE_THRESHOLD" in r.getMessage()
+        ]
 
 
 class TestSweepInvarianceProperties:

@@ -1,0 +1,275 @@
+"""Batched transient Monte Carlo engine vs the per-instance scalar loop.
+
+The transient analogue of ``test_assembly_equivalence.py``: for random
+inverter-chain circuits and :class:`FETVariation` draws, every
+:class:`CircuitTransientMC` waveform must match the scalar
+``transient()`` loop over explicitly perturbed circuits to 1e-9 at
+every sample (hypothesis-backed), and the engine's results must be
+bitwise invariant to chunk size, instance order, and serial vs.
+process-pool execution.  The per-instance scalar fallback and the
+sparse per-instance path are exercised directly.
+"""
+
+import logging
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+import repro.circuit.sweep as sweep_module
+from repro.circuit.continuation import ConvergenceReport
+from repro.circuit.netlist import CircuitError
+from repro.circuit.sweep import (
+    CircuitTransientMC,
+    FETVariation,
+    perturbed_circuit,
+)
+from repro.circuit.transient import transient, transient_samples
+from repro.circuit.waveforms import Pulse
+from repro.devices.empirical import AlphaPowerFET
+from repro.experiments.cascade import build_inverter_chain
+
+WAVEFORM_ATOL = 1e-9
+
+T_STOP = 0.3e-9
+DT = 1e-11
+
+
+def _stimulus(t_stop=T_STOP):
+    return Pulse(
+        v1=0.0, v2=1.0, delay_s=0.1 * t_stop, rise_s=10e-12, fall_s=10e-12,
+        width_s=0.45 * t_stop, period_s=0.0,
+    )
+
+
+def _chain_engine(n_stages=2):
+    chain = build_inverter_chain(
+        AlphaPowerFET(), n_stages=n_stages, input_waveform=_stimulus()
+    )
+    return CircuitTransientMC(chain)
+
+
+@pytest.fixture(scope="module")
+def engine():
+    return _chain_engine()
+
+
+@pytest.fixture(scope="module")
+def variation(engine):
+    return FETVariation.sample(
+        24, len(engine.fet_names), seed=123, drive_sigma=0.2, vth_sigma_v=0.02
+    )
+
+
+@pytest.fixture(scope="module")
+def reference(engine, variation):
+    return engine.run(variation, T_STOP, DT)
+
+
+class TestScalarEquivalence:
+    """Waveforms match the per-instance scalar transient() loop."""
+
+    def test_trapezoidal_matches_scalar_loop(self, engine, variation, reference):
+        scalar = engine.scalar_reference(variation, T_STOP, DT)
+        assert reference.converged.all()
+        assert np.abs(reference.samples - scalar).max() < WAVEFORM_ATOL
+
+    def test_backward_euler_matches_scalar_loop(self, engine, variation):
+        result = engine.run(variation, T_STOP, DT, integrator="backward-euler")
+        scalar = engine.scalar_reference(
+            variation, T_STOP, DT, integrator="backward-euler"
+        )
+        assert result.converged.all()
+        assert np.abs(result.samples - scalar).max() < WAVEFORM_ATOL
+
+    def test_nominal_variation_matches_unperturbed_transient(self, engine):
+        result = engine.run(n_instances=2, t_stop_s=T_STOP, dt_s=DT)
+        scalar = transient(engine.circuit, T_STOP, DT)
+        for node in ("s1", "s2"):
+            waves = result.voltage(node)
+            assert np.abs(waves - scalar.voltage(node)).max() < WAVEFORM_ATOL
+
+    @given(
+        n_stages=st.integers(min_value=1, max_value=3),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        drive_sigma=st.floats(min_value=0.0, max_value=0.3),
+        vth_sigma_v=st.floats(min_value=0.0, max_value=0.05),
+    )
+    @settings(max_examples=6, deadline=None)
+    def test_random_chains_and_draws_match_scalar(
+        self, n_stages, seed, drive_sigma, vth_sigma_v
+    ):
+        engine = _chain_engine(n_stages)
+        variation = FETVariation.sample(
+            3,
+            len(engine.fet_names),
+            seed=seed,
+            drive_sigma=drive_sigma,
+            vth_sigma_v=vth_sigma_v,
+        )
+        result = engine.run(variation, T_STOP, DT)
+        scalar = engine.scalar_reference(variation, T_STOP, DT)
+        assert result.converged.all()
+        assert np.abs(result.samples - scalar).max() < WAVEFORM_ATOL
+
+
+class TestBitwiseInvariance:
+    """Execution shape never changes a single bit of any waveform."""
+
+    def test_chunk_size_bitwise_invariant(self, engine, variation, reference):
+        for chunk_size in (1, 7, 24):
+            result = engine.run(variation, T_STOP, DT, chunk_size=chunk_size)
+            assert np.array_equal(result.samples, reference.samples)
+            assert np.array_equal(result.converged, reference.converged)
+
+    def test_instance_order_bitwise_invariant(self, engine, variation, reference):
+        permutation = np.random.default_rng(0).permutation(variation.n_instances)
+        permuted = engine.run(variation.take(permutation), T_STOP, DT)
+        assert np.array_equal(permuted.samples, reference.samples[permutation])
+
+    def test_process_pool_bitwise_invariant(self, engine, variation, reference):
+        pooled = engine.run(variation, T_STOP, DT, chunk_size=8, workers=2)
+        assert np.array_equal(pooled.samples, reference.samples)
+        assert np.array_equal(pooled.converged, reference.converged)
+
+    @given(chunk_size=st.integers(min_value=1, max_value=30))
+    @settings(max_examples=8, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    def test_any_chunk_size_is_bitwise_identical(
+        self, engine, variation, reference, chunk_size
+    ):
+        result = engine.run(variation, T_STOP, DT, chunk_size=chunk_size)
+        assert np.array_equal(result.samples, reference.samples)
+
+
+class TestScalarFallback:
+    """Steps that defeat batched Newton are rescued per instance."""
+
+    def test_fallback_engages_on_starved_newton(self, engine, variation, reference):
+        # Zero batched Newton iterations per step starve both the
+        # lockstep solve and the batched gmin ladder, so every step of
+        # every instance must be rescued through the scalar continuation
+        # path — and still reproduce the batched waveforms, since the
+        # rescue anchors at the same previous solutions.
+        result = engine.run(variation, T_STOP, DT, step_max_iterations=0)
+        assert result.fallback.all()
+        assert result.n_fallback == variation.n_instances
+        assert result.converged.all()
+        assert np.abs(result.samples - reference.samples).max() < WAVEFORM_ATOL
+        scalar = engine.scalar_reference(variation, T_STOP, DT)
+        assert np.abs(result.samples - scalar).max() < WAVEFORM_ATOL
+
+    def test_fallback_only_takes_failing_instances(self, engine, variation):
+        result = engine.run(variation, T_STOP, DT)
+        assert result.n_fallback == 0
+
+    def test_failed_scalar_rescue_reports_unconverged(
+        self, engine, variation, monkeypatch
+    ):
+        def no_rescue(system, x0=None, **eval_kwargs):
+            return np.zeros(system.size), ConvergenceReport()  # converged=False
+
+        monkeypatch.setattr(sweep_module, "solve_dc_robust", no_rescue)
+        result = engine.run(variation.take([0, 1]), T_STOP, DT,
+                            step_max_iterations=0)
+        assert result.fallback.all()
+        assert not result.converged.any()
+        assert np.isnan(result.samples).all()
+        with pytest.raises(ValueError):
+            result.statistics("s1")
+
+
+class TestSparseFallback:
+    def test_sparse_plan_solves_per_instance_with_one_time_warning(
+        self, caplog, monkeypatch, sparse_fet_ladder
+    ):
+        monkeypatch.setattr(sweep_module, "_SPARSE_FALLBACK_WARNED", set())
+        engine = CircuitTransientMC(
+            sparse_fet_ladder(input_waveform=_stimulus(), load_f=1e-15)
+        )
+        assert engine.plan.use_sparse
+        variation = FETVariation.sample(
+            2, 1, seed=5, drive_sigma=0.2, vth_sigma_v=0.02
+        )
+        with caplog.at_level(logging.WARNING, logger="repro.circuit.sweep"):
+            result = engine.run(variation, 5e-11, 1e-11)
+        warnings = [
+            r for r in caplog.records if "SPARSE_THRESHOLD" in r.getMessage()
+        ]
+        assert len(warnings) == 1
+        assert "CircuitTransientMC" in warnings[0].getMessage()
+        assert "scalar" in warnings[0].getMessage()
+        assert result.converged.all() and result.fallback.all()
+
+        # Per-instance results equal the scalar loop exactly.
+        for i in range(2):
+            system = perturbed_circuit(engine.circuit, variation, i).build_system()
+            scalar = transient_samples(system, 5e-11, 1e-11)
+            assert np.abs(result.samples[i] - scalar).max() < WAVEFORM_ATOL
+
+        # The warning is one-time: a second run stays silent.
+        caplog.clear()
+        with caplog.at_level(logging.WARNING, logger="repro.circuit.sweep"):
+            engine.run(variation, 5e-11, 1e-11)
+        assert not [
+            r for r in caplog.records if "SPARSE_THRESHOLD" in r.getMessage()
+        ]
+
+
+class TestResultAccessors:
+    def test_shapes_times_and_accessors(self, engine, variation, reference):
+        n_samples = int(round(T_STOP / DT)) + 1
+        assert reference.samples.shape == (
+            variation.n_instances, n_samples, engine.plan.size
+        )
+        assert reference.n_instances == variation.n_instances
+        assert reference.n_samples == n_samples
+        assert reference.time_s[1] - reference.time_s[0] == pytest.approx(DT)
+        assert reference.voltage("s1").shape == (variation.n_instances, n_samples)
+        assert np.array_equal(
+            reference.voltage("0"), np.zeros((variation.n_instances, n_samples))
+        )
+        assert reference.source_current("VDD").shape == (
+            variation.n_instances, n_samples
+        )
+        with pytest.raises(KeyError):
+            reference.voltage("nope")
+        with pytest.raises(KeyError):
+            reference.source_current("nope")
+
+    def test_instance_waveforms_round_trip(self, engine, variation, reference):
+        waves = reference.instance_waveforms(3)
+        assert np.array_equal(waves.voltage("s2"), reference.voltage("s2")[3])
+        assert np.array_equal(
+            waves.source_current("VDD"), reference.source_current("VDD")[3]
+        )
+
+    def test_statistics(self, engine, variation, reference):
+        stats = reference.statistics("s2")
+        assert stats.n_instances == variation.n_instances
+        assert stats.n_converged == reference.n_converged
+        assert stats.minimum <= stats.mean <= stats.maximum
+
+    def test_validation(self, engine):
+        with pytest.raises(ValueError):
+            engine.run(n_instances=2)  # no grid
+        with pytest.raises(CircuitError):
+            engine.run(n_instances=2, t_stop_s=-1.0, dt_s=1e-12)
+        with pytest.raises(CircuitError):
+            engine.run(n_instances=2, t_stop_s=1e-9, dt_s=1e-12, integrator="euler")
+        with pytest.raises(ValueError):
+            engine.run(FETVariation.nominal(2, 7), 1e-10, 1e-11)
+        with pytest.raises(ValueError):
+            engine.run(t_stop_s=1e-10, dt_s=1e-11)  # neither variation nor count
+
+
+class TestPerturbedCircuit:
+    def test_preserves_layout_and_semantics(self, engine, variation):
+        clone = perturbed_circuit(engine.circuit, variation, 0)
+        assert clone.node_names == engine.circuit.node_names
+        system = clone.build_system()
+        assert system.size == engine.plan.size
+
+    def test_rejects_mismatched_variation(self, engine):
+        with pytest.raises(ValueError):
+            perturbed_circuit(engine.circuit, FETVariation.nominal(1, 9), 0)

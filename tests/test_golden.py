@@ -26,9 +26,10 @@ from repro.cli import EXPERIMENTS
 GOLDEN_DIR = Path(__file__).parent / "golden"
 
 # The experiments snapshotted: the two circuit-level artefacts the
-# solver/assembly refactors must not move, the ablation sweeps, and the
-# seeded Section V Monte-Carlo pipeline.
-GOLDEN_EXPERIMENTS = ("fig2", "cascade", "ablations", "integration")
+# solver/assembly refactors must not move, the ablation sweeps, the
+# seeded Section V Monte-Carlo pipeline, and the transient-MC timing
+# rows (corner sweep + device-spread delay/energy distribution).
+GOLDEN_EXPERIMENTS = ("fig2", "cascade", "ablations", "integration", "timing")
 
 # Tight by design: these runs are deterministic (fixed seeds, fixed
 # grids); the relative slack only absorbs BLAS/libm rounding drift.
