@@ -1,0 +1,126 @@
+"""Bench SURROGATE: physical-device circuits on cached spline tables.
+
+The acceptance gate of the surrogate subsystem
+(:mod:`repro.devices.surrogate`):
+
+* a 20-step transient of a 5-stage inverter chain built from the
+  paper's physical ballistic :class:`~repro.devices.cntfet.CNTFET`
+  runs **>= 30x faster** through the compiled :class:`SurrogateFET`
+  than through direct top-of-barrier evaluation (table compilation is
+  excluded — it is a one-time cost amortised by the content-addressed
+  disk cache under ``~/.cache/repro-surrogates``, which CI persists
+  between runs);
+* the surrogate's current error stays **<= 1e-4 relative** over the
+  declared operating box;
+* batched Monte Carlo on surrogate devices keeps the sweep engines'
+  bitwise-invariance contract: identical results for any chunk size,
+  instance order, and serial vs. process-pool execution.
+
+Timings print as informational rows; the assertions are the gate.
+"""
+
+import time
+
+import numpy as np
+
+from conftest import print_rows
+
+from repro.circuit.sweep import CircuitMonteCarlo, FETVariation
+from repro.circuit.transient import transient
+from repro.circuit.waveforms import Pulse
+from repro.devices.cntfet import CNTFET
+from repro.devices.surrogate import compile_surrogate, surrogate_fidelity
+from repro.experiments.cascade import build_inverter_chain
+
+T_STOP_S = 4e-10
+DT_S = 2e-11  # 20 steps
+SPEEDUP_BAR = 30.0
+REL_ERROR_BAR = 1e-4
+
+
+def _stimulus():
+    return Pulse(
+        0.0, 1.0, delay_s=4e-11, rise_s=2e-11, fall_s=2e-11,
+        width_s=2e-10, period_s=4e-10,
+    )
+
+
+def _chain(device, n_stages=5):
+    return build_inverter_chain(device, n_stages=n_stages, input_waveform=_stimulus())
+
+
+def test_surrogate_meets_accuracy_bar():
+    device = CNTFET.reference_device()
+    surrogate = compile_surrogate(device)
+    max_rel = surrogate_fidelity(surrogate, device)
+    print_rows(
+        "surrogate accuracy — reference CNT-FET",
+        [("table points", float(surrogate.n_table_points)),
+         ("fit residual (asinh)", float(surrogate.fit_error)),
+         ("max rel current error", max_rel)],
+    )
+    assert max_rel <= REL_ERROR_BAR
+
+
+def test_physical_chain_transient_speedup():
+    device = CNTFET.reference_device()
+    surrogate = compile_surrogate(device)
+
+    sur_circuit = _chain(surrogate)
+    start = time.perf_counter()
+    sur_result = transient(sur_circuit, T_STOP_S, DT_S)
+    sur_seconds = time.perf_counter() - start
+
+    direct_circuit = _chain(device)
+    start = time.perf_counter()
+    direct_result = transient(direct_circuit, T_STOP_S, DT_S)
+    direct_seconds = time.perf_counter() - start
+
+    speedup = direct_seconds / sur_seconds
+    worst_gap = max(
+        float(np.max(np.abs(direct_result.voltage(f"s{i}") - sur_result.voltage(f"s{i}"))))
+        for i in range(1, 6)
+    )
+    print_rows(
+        "physical 5-stage chain, 20-step transient",
+        [("direct [s]", direct_seconds),
+         ("surrogate [s]", sur_seconds),
+         ("speedup", speedup),
+         ("worst node gap [V]", worst_gap)],
+    )
+    assert speedup >= SPEEDUP_BAR
+    # The two solvers integrate *different* device models (1e-4
+    # relative); node waveforms still have to agree to millivolts.
+    assert worst_gap < 5e-3
+
+
+def test_batched_mc_on_surrogates_is_bitwise_invariant():
+    surrogate = compile_surrogate(CNTFET.reference_device())
+    circuit = _chain(surrogate, n_stages=3)
+    engine = CircuitMonteCarlo(circuit)
+    variation = FETVariation.sample(
+        96, len(engine.fet_names), seed=7, drive_sigma=0.15, vth_sigma_v=0.01
+    )
+
+    start = time.perf_counter()
+    baseline = engine.run(variation, chunk_size=96)
+    batched_seconds = time.perf_counter() - start
+
+    chunked = engine.run(variation, chunk_size=17)
+    assert np.array_equal(baseline.x, chunked.x)
+    assert np.array_equal(baseline.converged, chunked.converged)
+
+    order = np.random.default_rng(0).permutation(variation.n_instances)
+    shuffled = engine.run(variation.take(order))
+    assert np.array_equal(baseline.x[order], shuffled.x)
+
+    pooled = engine.run(variation, chunk_size=24, workers=2)
+    assert np.array_equal(baseline.x, pooled.x)
+    assert np.array_equal(baseline.converged, pooled.converged)
+
+    print_rows(
+        "batched MC over surrogate chain (96 instances)",
+        [("batched run [s]", batched_seconds),
+         ("converged fraction", baseline.n_converged / baseline.n_instances)],
+    )
+    assert baseline.converged.all()

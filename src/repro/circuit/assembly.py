@@ -58,6 +58,14 @@ SPARSE_THRESHOLD = 128
 # solves and per-iteration nonlinear solves get identical conditioning.
 DIAG_REGULARIZATION = 1e-14
 
+# FET groups at or below this size stamp through the scalar
+# ``linearize_point`` path in dense mode: array dispatch does not
+# amortise below ~4 FETs (the seed's small-circuit advantage; a
+# 2-stage complementary chain is one group of 4).  Devices whose
+# scalar ``current`` is itself a solver call opt out via
+# ``FETModel.prefer_batched_points``.
+SCALAR_GROUP_MAX = 4
+
 _COMPILED_TYPES = (Resistor, Capacitor, VoltageSource, CurrentSource, FET)
 
 
@@ -87,15 +95,25 @@ class _FETGroup:
     ``gather_*`` index the padded voltage vector (ground at index
     ``size``); ``rows``/``cols``/``take`` address the 6-entry-per-FET
     Jacobian stamp pattern with ground rows/columns masked out.
+
+    Groups of at most :data:`SCALAR_GROUP_MAX` FETs additionally
+    precompute plain-int indices for :meth:`stamp_points` — a
+    pure-scalar stamp through
+    :meth:`repro.devices.base.FETModel.linearize_point` that skips the
+    array dispatch entirely (array math does not amortise below ~4
+    FETs; see the ROADMAP's small-circuit trade-off note).  Devices
+    that set ``prefer_batched_points`` (scalar evaluation is a solver
+    call) keep the batched path at every group size.
     """
 
     __slots__ = (
         "device", "delta_v", "count", "sign", "elements",
         "gather_dgs", "scatter_idx", "flat",
         "rows", "cols", "take", "_vals6", "_vals", "_scatter_vals",
+        "use_points", "point_fets",
     )
 
-    def __init__(self, device, delta_v: float, fets: list, pad, jac_idx, size: int):
+    def __init__(self, device, delta_v: float | None, fets: list, pad, jac_idx, size: int):
         self.device = device
         self.delta_v = delta_v
         self.count = len(fets)
@@ -124,6 +142,28 @@ class _FETGroup:
         self._vals6 = np.empty((6, self.count))
         self._vals = np.empty(self.take.size)
         self._scatter_vals = np.empty(2 * self.count)
+        self.use_points = self.count <= SCALAR_GROUP_MAX and not getattr(
+            device, "prefer_batched_points", False
+        )
+        if self.use_points:
+            # Per-FET scalar stamp schedule: padded terminal indices,
+            # polarity sign, and this FET's surviving Jacobian entries
+            # as (flat index, slot in the 6-value pattern) pairs.
+            flat_by_pos = dict(zip(self.take.tolist(), self.flat.tolist()))
+            self.point_fets = [
+                (
+                    int(gather_d[i]),
+                    int(gather_g[i]),
+                    int(gather_s[i]),
+                    float(signs[i]),
+                    [
+                        (flat_by_pos[slot * self.count + i], slot)
+                        for slot in range(6)
+                        if slot * self.count + i in flat_by_pos
+                    ],
+                )
+                for i in range(self.count)
+            ]
 
     def linearize(self, xpad: np.ndarray):
         """Batched device linearization at the padded iterate ``xpad``."""
@@ -137,6 +177,34 @@ class _FETGroup:
             self.sign * vgs, self.sign * vds, self.delta_v
         )
         return self.sign * current, gm, gds
+
+    def stamp_points(self, xpad: np.ndarray, rpad: np.ndarray, jac_flat: np.ndarray):
+        """Scalar fast path: stamp a small group FET by FET, no arrays.
+
+        Same arithmetic as the batched path (sign-flip in, sign-flip
+        out, unsigned conductances) through the device's scalar
+        ``linearize_point``, with plain-int indexed accumulation — the
+        restoration of the seed's per-element stamp cost for small
+        circuits.
+        """
+        device = self.device
+        delta_v = self.delta_v
+        for d, g, s, sign, entries in self.point_fets:
+            vs = xpad[s]
+            vgs = xpad[g] - vs
+            vds = xpad[d] - vs
+            if sign == 1.0:
+                current, gm, gds = device.linearize_point(vgs, vds, delta_v)
+            else:
+                current, gm, gds = device.linearize_point(
+                    sign * vgs, sign * vds, delta_v
+                )
+                current = sign * current
+            rpad[d] += current
+            rpad[s] -= current
+            vals = (gds, gm, -(gm + gds), -gds, -gm, gm + gds)
+            for flat_index, slot in entries:
+                jac_flat[flat_index] += vals[slot]
 
     def residual_values(self, current: np.ndarray) -> np.ndarray:
         """Stack ``[+I, -I]`` matching ``scatter_idx`` (drains then sources)."""
@@ -226,8 +294,8 @@ class StampPlan:
         vsources: list[VoltageSource] = []
         isources: list[CurrentSource] = []
         capacitors: list[Capacitor] = []
-        fet_bins: dict[tuple[int, float], list[FET]] = {}
-        fet_devices: dict[tuple[int, float], object] = {}
+        fet_bins: dict[tuple[int, float | None], list[FET]] = {}
+        fet_devices: dict[tuple[int, float | None], object] = {}
 
         for element in circuit.elements:
             if isinstance(element, Resistor):
@@ -455,6 +523,9 @@ class StampPlan:
             np.copyto(jacobian, linear.matrix)
             jac_flat = self._jac_flat
             for group in self.fet_groups:
+                if group.use_points:
+                    group.stamp_points(xpad, rpad, jac_flat)
+                    continue
                 current, gm, gds = group.linearize(xpad)
                 np.add.at(rpad, group.scatter_idx, group.residual_values(current))
                 np.add.at(jac_flat, group.flat, group.jacobian_values(gm, gds))
@@ -467,6 +538,110 @@ class StampPlan:
             if gmin_ref is not None:
                 residual[: self.n_nodes] -= gmin * gmin_ref[: self.n_nodes]
         return residual, jacobian
+
+    def evaluate_many(
+        self,
+        x_stack: np.ndarray,
+        time_s: float | None = None,
+        dt_s: float | None = None,
+        previous_x: np.ndarray | None = None,
+        integrator: str = "trapezoidal",
+        state: dict | None = None,
+        source_scale: float = 1.0,
+        gmin: float = 0.0,
+        gmin_ref: np.ndarray | None = None,
+    ):
+        """Residuals ``(k, size)`` and Jacobians ``(k, size, size)`` at a
+        stack of iterates sharing one evaluation context.
+
+        The batched line-search entry: :func:`repro.circuit.solver.
+        newton_solve` evaluates a whole damping ladder of trial points
+        in one call, so each FET group costs one ``linearize`` over all
+        trials instead of one per trial.  Dense plans only (the Newton
+        solver guards); every arithmetic step is elementwise per row
+        (batched gemv, per-row scatters), mirroring
+        :meth:`evaluate` term by term.  Returns fresh arrays — rows
+        survive subsequent calls.
+
+        This kernel deliberately parallels
+        ``sweep._BatchedNewtonEngine._evaluate_batch`` (which threads
+        per-instance variation arrays and per-instance companion
+        state); a stamp fix applied here almost certainly applies
+        there too.
+        """
+        x_stack = np.asarray(x_stack, dtype=float)
+        k = x_stack.shape[0]
+        size = self.size
+        row_pad = np.arange(k, dtype=np.intp)[:, None] * (size + 1)
+        row_jac = np.arange(k, dtype=np.intp)[:, None] * (size * size)
+        linear = self._linear_system(dt_s, integrator)
+
+        xpad = np.zeros((k, size + 1))
+        xpad[:, :size] = x_stack
+        rpad = np.zeros((k, size + 1))
+        rpad[:, :size] = np.matmul(linear.matrix, x_stack[..., None])[..., 0]
+        rflat = rpad.reshape(-1)
+        if self.vsrc_branch.size:
+            levels = np.array([el.level(time_s) for el in self.vsources])
+            rpad[:, self.vsrc_branch] -= source_scale * levels
+        if self.isrc_p.size:
+            currents = source_scale * np.array(
+                [el.level(time_s) for el in self.isources]
+            )
+            # ufunc.at does not broadcast shared values against a stack
+            # of per-row indices (it reads out of bounds); broadcast
+            # explicitly.
+            shared = np.broadcast_to(currents, (k, currents.size))
+            np.add.at(rflat, row_pad + self.isrc_p, shared)
+            np.add.at(rflat, row_pad + self.isrc_n, -shared)
+        if dt_s is not None and self.cap_c.size:
+            if previous_x is not None:
+                prevpad = np.zeros(size + 1)
+                prevpad[:size] = previous_x
+            else:
+                # The scalar path anchors the companion model at the
+                # iterate itself when no previous solution is given.
+                prevpad = xpad
+            history = self.cap_state_array(state) if state else None
+            rhs = self.cap_history_rhs(prevpad, linear.cap_geq, integrator, history)
+            cap_vals = np.concatenate((rhs, -rhs), axis=-1)
+            np.add.at(
+                rflat,
+                row_pad + self.cap_scatter,
+                np.broadcast_to(cap_vals, (k,) + cap_vals.shape[-1:]),
+            )
+
+        jac = np.empty((k, size, size))
+        jac[:] = linear.matrix
+        jflat = jac.reshape(-1)
+        for group in self.fet_groups:
+            v = xpad[:, group.gather_dgs]  # (k, 3, count)
+            vgs = v[:, 1] - v[:, 2]
+            vds = v[:, 0] - v[:, 2]
+            if group.sign is None:
+                current, gm, gds = group.device.linearize(vgs, vds, group.delta_v)
+            else:
+                current, gm, gds = group.device.linearize(
+                    group.sign * vgs, group.sign * vds, group.delta_v
+                )
+                current = group.sign * current
+            rvals = np.concatenate((current, -current), axis=1)
+            np.add.at(rflat, row_pad + group.scatter_idx, rvals)
+            vals6 = np.stack(
+                (gds, gm, -(gm + gds), -gds, -gm, gm + gds), axis=1
+            )  # (k, 6, count), entry order matching group.take
+            entries = vals6.reshape(k, 6 * group.count)[:, group.take]
+            np.add.at(jflat, row_jac + group.flat, entries)
+
+        residual = rpad[:, :size]
+        if gmin > 0.0:
+            n_nodes = self.n_nodes
+            residual[:, :n_nodes] += gmin * x_stack[:, :n_nodes]
+            if gmin_ref is not None:
+                residual[:, :n_nodes] -= gmin * gmin_ref[:n_nodes]
+            diag = np.einsum("ijj->ij", jac)
+            diag[:, :n_nodes] += gmin
+        return residual, jac
 
     def _evaluate_fets_sparse(self, xpad, rpad, linear):
         nl_vals = self._nl_vals

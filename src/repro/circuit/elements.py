@@ -4,10 +4,12 @@ The solver works on the residual formulation of modified nodal analysis:
 the unknown vector stacks node voltages (ground excluded) and the branch
 currents of voltage sources; each element adds its terminal currents to
 the KCL residual and its derivatives to the Jacobian.  Nonlinear FETs
-linearise through :meth:`repro.devices.base.FETModel.linearize` (central
-differences by default) — the same small-signal API the compiled stamp
-plan of :mod:`repro.circuit.assembly` calls in batched form, so this
-scalar reference path and the compiled path share their arithmetic.
+linearise through
+:meth:`repro.devices.base.FETModel.linearize_point` (model-owned
+central differences by default, analytic for spline surrogates) — the
+scalar twin of the batched ``linearize`` the compiled stamp plan of
+:mod:`repro.circuit.assembly` calls, so this reference path and the
+compiled path share their arithmetic.
 """
 
 from __future__ import annotations
@@ -233,6 +235,10 @@ class FET(Element):
     :class:`repro.devices.PType` before building the element.  Gate
     current is zero (insulated gate); gate capacitance, when needed, is
     modelled with explicit Capacitor elements.
+
+    ``delta_v`` is an optional override of the device's own
+    finite-difference step; the default ``None`` lets the model choose
+    (and analytic models — spline surrogates — ignore it entirely).
     """
 
     name: str
@@ -240,7 +246,7 @@ class FET(Element):
     gate: str
     source: str
     device: FETModel
-    delta_v: float = 1e-5
+    delta_v: float | None = None
 
     def __post_init__(self) -> None:
         self.nodes = (self.drain, self.gate, self.source)
@@ -249,7 +255,9 @@ class FET(Element):
         vd = ctx.voltage(self.drain)
         vg = ctx.voltage(self.gate)
         vs = ctx.voltage(self.source)
-        current, gm, gds = self.device.linearize(vg - vs, vd - vs, self.delta_v)
+        current, gm, gds = self.device.linearize_point(
+            vg - vs, vd - vs, self.delta_v
+        )
         current, gm, gds = float(current), float(gm), float(gds)
 
         ctx.add_current(self.drain, current)

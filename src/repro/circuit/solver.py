@@ -38,6 +38,10 @@ _MAX_ITERATIONS = 120
 _RESIDUAL_ATOL = 1e-10
 _RESIDUAL_RTOL = 1e-9
 _STEP_TOL = 1e-10
+# Damping candidates evaluated per batched line-search call once the
+# full step is rejected (total trial budget stays at 30, as before).
+_TRIAL_BATCH = 8
+_MAX_TRIALS = 30
 
 
 def _newton_step(jacobian, residual, reg_identity) -> np.ndarray | None:
@@ -60,6 +64,62 @@ def _newton_step(jacobian, residual, reg_identity) -> np.ndarray | None:
     # -residual is a fresh temporary, so LAPACK may solve into it.
     _, _, step, info = dgesv(jacobian, -residual, overwrite_b=True)
     return step if info == 0 else None
+
+
+def _line_search(
+    system, plan_many, x, step, norm, tolerance, source_scale, gmin, eval_kwargs
+):
+    """First acceptable damped trial along ``step``; None if there is none.
+
+    Trial 1 is the full step — evaluated alone because it is accepted
+    in the vast majority of iterations.  Once it is rejected, compiled
+    dense plans evaluate the rest of the damping ladder through
+    :meth:`~repro.circuit.assembly.StampPlan.evaluate_many` in batches
+    of ``_TRIAL_BATCH``: one batched device ``linearize`` per call
+    instead of one per trial, which is what makes backtracking cheap
+    for expensive (physical) device models.  Acceptance order and
+    criteria are identical to the sequential ladder.
+    """
+    x_trial = x + step
+    residual_trial, jacobian_trial = system.evaluate(
+        x_trial, source_scale=source_scale, gmin=gmin, **eval_kwargs
+    )
+    norm_trial = float(np.max(np.abs(residual_trial)))
+    if norm_trial < norm or norm_trial <= tolerance:
+        return x_trial, residual_trial, jacobian_trial, norm_trial, 1.0
+
+    if plan_many is None:
+        damping = 1.0
+        for _ in range(_MAX_TRIALS - 1):
+            damping *= 0.5
+            x_trial = x + damping * step
+            residual_trial, jacobian_trial = system.evaluate(
+                x_trial, source_scale=source_scale, gmin=gmin, **eval_kwargs
+            )
+            norm_trial = float(np.max(np.abs(residual_trial)))
+            if norm_trial < norm or norm_trial <= tolerance:
+                return x_trial, residual_trial, jacobian_trial, norm_trial, damping
+        return None
+
+    dampings = 0.5 ** np.arange(1, _MAX_TRIALS)
+    for start in range(0, dampings.size, _TRIAL_BATCH):
+        batch = dampings[start : start + _TRIAL_BATCH]
+        x_trials = x[None, :] + batch[:, None] * step[None, :]
+        residuals, jacobians = plan_many(
+            x_trials, source_scale=source_scale, gmin=gmin, **eval_kwargs
+        )
+        norms = np.max(np.abs(residuals), axis=1)
+        hits = np.flatnonzero((norms < norm) | (norms <= tolerance))
+        if hits.size:
+            j = int(hits[0])
+            return (
+                x_trials[j],
+                residuals[j],
+                jacobians[j],
+                float(norms[j]),
+                float(batch[j]),
+            )
+    return None
 
 
 def newton_solve(
@@ -93,6 +153,11 @@ def newton_solve(
     # matrix instead of refactorizing the identical Jacobian every step.
     plan = getattr(system, "_plan", None)
     linear_plan = plan if plan is not None and plan.linear_only and gmin == 0.0 else None
+    # Dense compiled plans batch the backtracking ladder's bias points
+    # into one device call per _TRIAL_BATCH trials (see _line_search).
+    plan_many = (
+        plan.evaluate_many if plan is not None and not plan.use_sparse else None
+    )
     dt_s = eval_kwargs.get("dt_s")
     integrator = eval_kwargs.get("integrator", "trapezoidal")
 
@@ -110,23 +175,15 @@ def newton_solve(
         if step is None:
             break
         iterations += 1
-        # Backtracking line search on the residual norm.
-        damping = 1.0
-        for _ in range(30):
-            x_trial = x + damping * step
-            residual_trial, jacobian_trial = system.evaluate(
-                x_trial, source_scale=source_scale, gmin=gmin, **eval_kwargs
-            )
-            norm_trial = float(np.max(np.abs(residual_trial)))
-            if norm_trial < norm or norm_trial <= tolerance:
-                break
-            damping *= 0.5
-        else:
+        accepted = _line_search(
+            system, plan_many, x, step, norm, tolerance, source_scale, gmin,
+            eval_kwargs,
+        )
+        if accepted is None:
             break  # line search could not reduce the residual
-        step_size = float(np.max(np.abs(damping * step)))
-        x, residual, jacobian, norm = x_trial, residual_trial, jacobian_trial, norm_trial
+        x, residual, jacobian, norm, damping = accepted
         converged = norm <= tolerance
-        if step_size < _STEP_TOL:
+        if float(np.max(np.abs(damping * step))) < _STEP_TOL:
             break  # stalled; the unified test above has the last word
     if report is not None:
         report.record(stage, parameter, iterations, norm, converged)

@@ -411,6 +411,12 @@ class ScaledShiftedFET(FETModel):
         self.drive_scale = float(drive_scale)
         self.vth_shift_v = float(vth_shift_v)
 
+    @property
+    def prefer_batched_points(self) -> bool:
+        # A wrapper around a solver-backed model is as expensive per
+        # scalar call as the model itself.
+        return self.base.prefer_batched_points
+
     def current(self, vgs: float, vds: float) -> float:
         return self.drive_scale * self.base.current(vgs - self.vth_shift_v, vds)
 
@@ -419,11 +425,21 @@ class ScaledShiftedFET(FETModel):
             np.asarray(vgs_values, dtype=float) - self.vth_shift_v, vds_values
         )
 
-    def linearize(self, vgs_values, vds_values, delta_v: float = 1e-5):
+    def linearize(self, vgs_values, vds_values, delta_v: float | None = None):
         current, gm, gds = self.base.linearize(
             np.asarray(vgs_values, dtype=float) - self.vth_shift_v,
             vds_values,
             delta_v,
+        )
+        return (
+            current * self.drive_scale,
+            gm * self.drive_scale,
+            gds * self.drive_scale,
+        )
+
+    def linearize_point(self, vgs: float, vds: float, delta_v: float | None = None):
+        current, gm, gds = self.base.linearize_point(
+            vgs - self.vth_shift_v, vds, delta_v
         )
         return (
             current * self.drive_scale,
@@ -789,6 +805,11 @@ class _BatchedNewtonEngine:
         vectors) rather than one gemm, so each row is bitwise identical
         to the scalar path's ``matrix @ x`` — the root of the engines'
         chunking/order/pool bitwise-invariance contract.
+
+        This kernel deliberately parallels
+        :meth:`repro.circuit.assembly.StampPlan.evaluate_many` (the
+        shared-context line-search variant); a stamp fix applied here
+        almost certainly applies there too.
         """
         plan = self.plan
         size = plan.size
@@ -807,8 +828,12 @@ class _BatchedNewtonEngine:
             rpad[:, plan.vsrc_branch] -= levels
         if plan.isrc_p.size:
             currents = np.array([el.level(ctx.time_s) for el in plan.isources])
-            np.add.at(rflat, row_pad + plan.isrc_p, currents)
-            np.add.at(rflat, row_pad + plan.isrc_n, -currents)
+            # ufunc.at does not broadcast shared values against a stack
+            # of per-row indices (it reads out of bounds) — broadcast
+            # explicitly.
+            shared = np.broadcast_to(currents, (m, currents.size))
+            np.add.at(rflat, row_pad + plan.isrc_p, shared)
+            np.add.at(rflat, row_pad + plan.isrc_n, -shared)
         if ctx.dt_s is not None and plan.cap_c.size:
             history = plan.cap_history_rhs(
                 ctx.prevpad, linear.cap_geq, ctx.integrator, ctx.state_currents

@@ -6,9 +6,15 @@ Usage::
     python -m repro table1 rf     # several
     python -m repro --list        # what's available
     python -m repro all           # everything (minutes)
+    python -m repro cascade --physical   # physical CNT-FET device stack
 
 Each experiment prints the same (label, value) rows its benchmark
 prints, so shell users and EXPERIMENTS.md readers see identical numbers.
+``--physical`` swaps the circuit-level experiments (``cascade``,
+``timing``, ``integration``) onto the surrogate-compiled ballistic
+CNT-FET instead of the behavioural alpha-power stand-in — affordable
+because device evaluation happens on the cached spline table
+(:mod:`repro.devices.surrogate`), not the k-space integrals.
 """
 
 from __future__ import annotations
@@ -16,7 +22,14 @@ from __future__ import annotations
 import argparse
 from typing import Callable
 
-__all__ = ["main", "EXPERIMENTS"]
+__all__ = ["main", "EXPERIMENTS", "PHYSICAL_EXPERIMENTS"]
+
+
+def _physical_device():
+    """The surrogate-compiled benchmark CNT-FET of the --physical stack."""
+    from repro.experiments.cascade import physical_saturating_fet
+
+    return physical_saturating_fet()
 
 
 def _run_fig1() -> list[tuple]:
@@ -90,7 +103,7 @@ def _run_fabric() -> list[tuple]:
     ).rows()
 
 
-def _run_timing() -> list[tuple]:
+def _run_timing(device=None) -> list[tuple]:
     from repro.analysis.timing import (
         cv_over_i_delay_s,
         delay_energy_distribution,
@@ -98,7 +111,7 @@ def _run_timing() -> list[tuple]:
     )
     from repro.devices.empirical import AlphaPowerFET
 
-    device = AlphaPowerFET()
+    device = AlphaPowerFET() if device is None else device
     rows: list[tuple] = [
         ("CV/I delay @ 10 fF, 1 V [ps]", cv_over_i_delay_s(device, 10e-15, 1.0) * 1e12)
     ]
@@ -144,6 +157,30 @@ def _run_ablations() -> list[tuple]:
     return rows
 
 
+def _run_surrogate() -> list[tuple]:
+    from repro.experiments.surrogate_report import run_surrogate_report
+
+    return run_surrogate_report().rows()
+
+
+def _run_cascade_physical() -> list[tuple]:
+    from repro.experiments.cascade import run_cascade
+
+    return run_cascade(device_stack="physical").rows()
+
+
+def _run_timing_physical() -> list[tuple]:
+    return _run_timing(device=_physical_device())
+
+
+def _run_integration_physical() -> list[tuple]:
+    from repro.experiments.integration_stats import run_integration_stats
+
+    return run_integration_stats(
+        n_array_devices=2000, n_functional_trials=30, device=_physical_device()
+    ).rows()
+
+
 EXPERIMENTS: dict[str, tuple[str, Callable[[], list[tuple]]]] = {
     "fig1": ("CNT vs GNR FET at equal band gap", _run_fig1),
     "fig2": ("inverter study: saturation vs not", _run_fig2),
@@ -158,6 +195,15 @@ EXPERIMENTS: dict[str, tuple[str, Callable[[], list[tuple]]]] = {
     "cascade": ("cascaded logic: level restoration vs collapse", _run_cascade),
     "ablations": ("design-choice ablations", _run_ablations),
     "timing": ("transient delay/energy: corners + device-spread MC", _run_timing),
+    "surrogate": ("spline-surrogate accuracy and speedup report", _run_surrogate),
+}
+
+# Experiments that support the --physical device stack: same artefact,
+# surrogate-compiled ballistic CNT-FET instead of the behavioural model.
+PHYSICAL_EXPERIMENTS: dict[str, Callable[[], list[tuple]]] = {
+    "cascade": _run_cascade_physical,
+    "timing": _run_timing_physical,
+    "integration": _run_integration_physical,
 }
 
 
@@ -187,19 +233,35 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--list", action="store_true", help="list available experiments and exit"
     )
+    parser.add_argument(
+        "--physical",
+        action="store_true",
+        help="run on the surrogate-compiled physical CNT-FET device stack "
+        f"(supported: {', '.join(sorted(PHYSICAL_EXPERIMENTS))})",
+    )
     args = parser.parse_args(argv)
 
     if args.list or not args.experiments:
         for name, (description, _) in EXPERIMENTS.items():
-            print(f"{name:12s} {description}")
+            physical = " [--physical]" if name in PHYSICAL_EXPERIMENTS else ""
+            print(f"{name:12s} {description}{physical}")
         return 0
 
     requested = list(EXPERIMENTS) if "all" in args.experiments else args.experiments
     unknown = [name for name in requested if name not in EXPERIMENTS]
     if unknown:
         parser.error(f"unknown experiment(s): {', '.join(unknown)}")
+    if args.physical:
+        unsupported = [name for name in requested if name not in PHYSICAL_EXPERIMENTS]
+        if unsupported:
+            parser.error(
+                "--physical is not supported by: " + ", ".join(unsupported)
+            )
     for name in requested:
         description, runner = EXPERIMENTS[name]
+        if args.physical:
+            description += " (physical CNT-FET stack)"
+            runner = PHYSICAL_EXPERIMENTS[name]
         _print_rows(f"{name} — {description}", runner())
     return 0
 

@@ -5,21 +5,31 @@ Every FET in this package exposes one scalar method:
     current(vgs, vds) -> drain current [A]
 
 with n-type sign conventions (positive ``vds`` drives positive drain
-current; current is zero at ``vds = 0``).  On top of it sit two batched
-entry points the circuit simulator and analysis helpers program against:
+current; current is zero at ``vds = 0``).  On top of it sits one
+vectorized evaluation protocol the circuit simulator, the analysis
+helpers and the surrogate compiler all program against:
 
-    currents(vgs_array, vds_array)  -> elementwise drain currents
-    linearize(vgs, vds, delta_v)    -> (id, gm, gds) arrays
+    currents(vgs_array, vds_array)   -> elementwise drain currents
+    grid_currents(vgs_grid, vds_grid)-> I on the outer-product grid
+    linearize(vgs, vds)              -> (id, gm, gds) arrays
+    linearize_point(vgs, vds)        -> (id, gm, gds) floats
+    operating_box()                  -> declared (vgs, vds) bias box
 
 ``linearize`` is the small-signal API the compiled MNA stamp plan calls
 once per device-model instance per Newton iteration, with all of that
-model's FET bias points batched into one array call.  The default
-implementations fall back to scalar ``current`` per element; models with
-closed-form characteristics override ``currents`` with true array math
-(see :mod:`repro.devices.empirical`) and the finite-difference
-``linearize`` inherits the vectorization for free.  A ballistic CNT-FET,
-an empirical non-saturating GNR model and a tabulated reference device
-therefore stay interchangeable everywhere.
+model's FET bias points batched into one array call;
+``linearize_point`` is its scalar fast path for single-device groups.
+The default derivatives are central differences with a model-owned step
+(``fd_delta_v``); models with analytic small-signal behaviour — notably
+:class:`repro.devices.surrogate.SurrogateFET` — override both
+``linearize`` entry points and never see a finite-difference step.
+
+Vectorised models implement ``_forward_currents`` (elementwise currents
+on the ``vds >= 0`` quadrant); the base ``currents`` wraps it in the
+shared source/drain mirror transform, so the symmetry convention lives
+in exactly one place.  Models without it fall back to a scalar loop.
+A ballistic CNT-FET, an empirical non-saturating GNR model and a
+spline-compiled surrogate therefore stay interchangeable everywhere.
 """
 
 from __future__ import annotations
@@ -30,7 +40,9 @@ from dataclasses import dataclass
 import numpy as np
 
 __all__ = [
+    "DEFAULT_FD_STEP",
     "FETModel",
+    "OperatingBox",
     "PType",
     "mirror_symmetric_currents",
     "transfer_curve",
@@ -39,6 +51,32 @@ __all__ = [
     "output_conductance",
 ]
 
+# Central-difference step [V] used when a model relies on the default
+# finite-difference linearization and the caller does not insist on one.
+DEFAULT_FD_STEP = 1e-5
+
+
+@dataclass(frozen=True)
+class OperatingBox:
+    """Declared bias box of a device: where its I-V surface is trusted.
+
+    The surrogate compiler samples (and guarantees accuracy over) this
+    box; circuit iterates that stray outside it are handled by bounded
+    first-order extrapolation.  ``vds_min`` is 0 for source/drain
+    symmetric devices (the mirror transform covers ``vds < 0``); devices
+    that are *not* mirror symmetric (gated diodes) declare a genuinely
+    two-sided ``vds`` range.
+    """
+
+    vgs_min: float = -0.3
+    vgs_max: float = 1.3
+    vds_min: float = 0.0
+    vds_max: float = 1.3
+
+    def __post_init__(self) -> None:
+        if self.vgs_min >= self.vgs_max or self.vds_min >= self.vds_max:
+            raise ValueError(f"degenerate operating box {self}")
+
 
 def mirror_symmetric_currents(forward, vgs_values, vds_values) -> np.ndarray:
     """Elementwise source/drain exchange: I(vgs, vds<0) = -I(vgs-vds, -vds).
@@ -46,8 +84,8 @@ def mirror_symmetric_currents(forward, vgs_values, vds_values) -> np.ndarray:
     Coerces and broadcasts the bias arrays, then hands ``forward`` only
     ``vds >= 0`` points.  This is the one shared implementation of the
     symmetric-device transform the scalar ``current`` methods apply
-    recursively; every vectorised ``currents`` override routes through
-    it so the symmetry convention cannot drift between device models.
+    recursively; every vectorised ``_forward_currents`` hook routes
+    through it so the symmetry convention cannot drift between models.
     """
     vgs = np.asarray(vgs_values, dtype=float)
     vds = np.asarray(vds_values, dtype=float)
@@ -65,6 +103,23 @@ def mirror_symmetric_currents(forward, vgs_values, vds_values) -> np.ndarray:
 class FETModel(abc.ABC):
     """Abstract three-terminal FET (source-referenced)."""
 
+    #: Whether I(vgs, vds < 0) = -I(vgs - vds, -vds) holds (true for the
+    #: symmetric-terminal FETs of this package; gated diodes set False).
+    mirror_symmetric: bool = True
+
+    #: Default finite-difference step of the fallback linearization.
+    fd_delta_v: float = DEFAULT_FD_STEP
+
+    #: True for models whose scalar ``current`` is itself an iterative
+    #: solve (physical top-of-barrier / root-finding devices): the
+    #: compiled stamp plan then keeps the batched ``linearize`` path
+    #: even for small FET groups instead of the scalar point stamp.
+    prefer_batched_points: bool = False
+
+    #: Elementwise currents on the vds >= 0 quadrant, or None to fall
+    #: back to a scalar loop.  Subclasses override with a method.
+    _forward_currents = None
+
     @abc.abstractmethod
     def current(self, vgs: float, vds: float) -> float:
         """Drain current I_D [A] at the given source-referenced bias."""
@@ -74,15 +129,27 @@ class FETModel(abc.ABC):
         """'n' or 'p'; base models are n-type, wrap with :class:`PType` to flip."""
         return "n"
 
+    def operating_box(self) -> OperatingBox:
+        """Declared (vgs, vds) bias box; the surrogate compiler's default."""
+        return OperatingBox()
+
     def currents(self, vgs_values, vds_values) -> np.ndarray:
         """Vectorised elementwise evaluation (arrays must broadcast).
 
-        The base implementation loops scalar ``current`` calls over the
-        flattened broadcast grid — correct for any model.  Subclasses
-        with closed-form characteristics override this with array math;
-        the compiled circuit assembly and the curve helpers below all
-        route through it, so that one override vectorises every consumer.
+        Models with closed-form characteristics implement the
+        ``_forward_currents`` hook (vds >= 0 quadrant only) and inherit
+        the shared mirror transform; anything else falls back to a loop
+        of scalar ``current`` calls — correct for any model.  The
+        compiled circuit assembly and the curve helpers below all route
+        through this method, so one hook vectorises every consumer.
+        The hook only applies to mirror-symmetric devices — an
+        asymmetric model defining it would get silently wrong
+        reverse-bias currents, so it is ignored (scalar loop) instead.
         """
+        if self._forward_currents is not None and self.mirror_symmetric:
+            return mirror_symmetric_currents(
+                self._forward_currents, vgs_values, vds_values
+            )
         vgs_values, vds_values = np.broadcast_arrays(
             np.asarray(vgs_values, dtype=float), np.asarray(vds_values, dtype=float)
         )
@@ -96,17 +163,33 @@ class FETModel(abc.ABC):
         )
         return out.reshape(vgs_values.shape)
 
-    def linearize(self, vgs_values, vds_values, delta_v: float = 1e-5):
+    def grid_currents(self, vgs_grid, vds_grid) -> np.ndarray:
+        """I_D on the outer-product grid, shape ``(len(vgs), len(vds))``.
+
+        The table-fill entry point of the surrogate compiler.  The
+        default is one batched ``currents`` call over the full grid;
+        physical models whose solver benefits from column-ordered
+        warm starts (see
+        :meth:`repro.transport.ballistic.TopOfBarrierSolver.grid_currents`)
+        override it.
+        """
+        vgs = np.asarray(vgs_grid, dtype=float)
+        vds = np.asarray(vds_grid, dtype=float)
+        return self.currents(vgs[:, None], vds[None, :])
+
+    def linearize(self, vgs_values, vds_values, delta_v: float | None = None):
         """Batched linearization: ``(id, gm, gds)`` at each bias point.
 
-        Central differences on :meth:`currents` with step ``delta_v`` —
-        the same arithmetic the scalar FET stamp historically used, so
-        compiled and reference assembly paths agree to rounding error.
-        The five probe biases (nominal, vgs +/- delta, vds +/- delta) are
-        stacked into a single ``currents`` call so vectorised models pay
-        the array-dispatch overhead once, not five times.  Subclasses
-        with analytic derivatives may override.
+        The default is central differences on :meth:`currents` with the
+        model-owned step ``fd_delta_v`` (callers no longer need to
+        thread a step through the hot path; passing ``delta_v``
+        explicitly remains possible for tests).  The five probe biases
+        (nominal, vgs +/- delta, vds +/- delta) are stacked into a
+        single ``currents`` call so vectorised models pay the
+        array-dispatch overhead once, not five times.  Models with
+        analytic derivatives override and ignore ``delta_v``.
         """
+        delta_v = self.fd_delta_v if delta_v is None else delta_v
         vgs = np.asarray(vgs_values, dtype=float)
         vds = np.asarray(vds_values, dtype=float)
         if vgs.shape != vds.shape:
@@ -124,6 +207,36 @@ class FETModel(abc.ABC):
         gds = (probes[3] - probes[4]) / (2 * delta_v)
         return probes[0], gm, gds
 
+    def linearize_point(self, vgs: float, vds: float, delta_v: float | None = None):
+        """Scalar linearization fast path: floats in, floats out.
+
+        Same arithmetic as :meth:`linearize` restricted to one bias
+        point, but built from plain scalar ``current`` calls — no array
+        dispatch.  The compiled stamp plan routes single-device FET
+        groups (and the reference element walker routes every FET)
+        through here; analytic models override it alongside
+        ``linearize``.
+        """
+        delta_v = self.fd_delta_v if delta_v is None else delta_v
+        current = self.current(vgs, vds)
+        gm = (
+            self.current(vgs + delta_v, vds) - self.current(vgs - delta_v, vds)
+        ) / (2.0 * delta_v)
+        gds = (
+            self.current(vgs, vds + delta_v) - self.current(vgs, vds - delta_v)
+        ) / (2.0 * delta_v)
+        return current, gm, gds
+
+    def surrogate(self, spec=None, **kwargs):
+        """Compile this model into a cached spline :class:`SurrogateFET`.
+
+        Convenience wrapper around
+        :func:`repro.devices.surrogate.compile_surrogate`.
+        """
+        from repro.devices.surrogate import compile_surrogate
+
+        return compile_surrogate(self, spec, **kwargs)
+
 
 @dataclass(frozen=True)
 class PType(FETModel):
@@ -133,7 +246,7 @@ class PType(FETModel):
     device symmetry used for the paper's "symmetrical pFET and nFET"
     inverter study (Fig. 2).  The batched ``currents``/``linearize``
     entry points forward to the wrapped n-type model, so a vectorised
-    nFET keeps its vectorisation when mirrored.
+    (or surrogate-compiled) nFET keeps its vectorisation when mirrored.
     """
 
     nfet: FETModel
@@ -141,6 +254,13 @@ class PType(FETModel):
     @property
     def polarity(self) -> str:
         return "p"
+
+    @property
+    def prefer_batched_points(self) -> bool:
+        return self.nfet.prefer_batched_points
+
+    def operating_box(self) -> OperatingBox:
+        return self.nfet.operating_box()
 
     def current(self, vgs: float, vds: float) -> float:
         return -self.nfet.current(-vgs, -vds)
@@ -150,13 +270,17 @@ class PType(FETModel):
             -np.asarray(vgs_values, dtype=float), -np.asarray(vds_values, dtype=float)
         )
 
-    def linearize(self, vgs_values, vds_values, delta_v: float = 1e-5):
+    def linearize(self, vgs_values, vds_values, delta_v: float | None = None):
         # d/dv [-I_n(-v)] = +I_n'(-v): conductances carry over unsigned.
         current, gm, gds = self.nfet.linearize(
             -np.asarray(vgs_values, dtype=float),
             -np.asarray(vds_values, dtype=float),
             delta_v,
         )
+        return -current, gm, gds
+
+    def linearize_point(self, vgs: float, vds: float, delta_v: float | None = None):
+        current, gm, gds = self.nfet.linearize_point(-vgs, -vds, delta_v)
         return -current, gm, gds
 
 

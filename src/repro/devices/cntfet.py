@@ -13,9 +13,11 @@ CNT-FET behaviour the paper highlights:
 
 from __future__ import annotations
 
+import dataclasses
+
 import numpy as np
 
-from repro.devices.base import FETModel, mirror_symmetric_currents
+from repro.devices.base import FETModel
 from repro.physics.cnt import Chirality, chirality_for_gap
 from repro.physics.electrostatics import (
     gate_all_around_capacitance,
@@ -51,6 +53,10 @@ class CNTFET(FETModel):
     n_subbands:
         Number of conduction subbands retained.
     """
+
+    # Scalar evaluation is a self-consistent barrier solve: small FET
+    # groups should stay on the batched linearize path.
+    prefer_batched_points = True
 
     def __init__(
         self,
@@ -117,9 +123,30 @@ class CNTFET(FETModel):
             return -self.current(vgs - vds, -vds)
         return self._solver.current(vgs, vds)
 
-    def currents(self, vgs_values, vds_values) -> np.ndarray:
+    def _forward_currents(self, vgs, vds) -> np.ndarray:
         """Batched I_D through the vectorised top-of-barrier solver."""
-        return mirror_symmetric_currents(self._solver.currents, vgs_values, vds_values)
+        return self._solver.currents(vgs, vds)
+
+    def grid_currents(self, vgs_grid, vds_grid) -> np.ndarray:
+        """Outer-grid fill via the solver's warm-started column sweep."""
+        vds_grid = np.asarray(vds_grid, dtype=float)
+        if np.any(vds_grid < 0.0):
+            return super().grid_currents(vgs_grid, vds_grid)
+        return self._solver.grid_currents(vgs_grid, vds_grid)
+
+    def surrogate_token(self):
+        """Stable parameter fingerprint for surrogate content addressing."""
+        return (
+            "CNTFET",
+            self.chirality.n,
+            self.chirality.m,
+            self.channel_length_nm,
+            self.t_ox_nm,
+            self.eps_ox,
+            self.gate_geometry,
+            len(self.bands.subbands),
+            dataclasses.astuple(self.params),
+        )
 
     def operating_point(self, vgs: float, vds: float) -> OperatingPoint:
         """Full self-consistent solution (barrier height, charge, current)."""

@@ -19,7 +19,7 @@ from dataclasses import dataclass
 
 from scipy.optimize import brentq
 
-from repro.devices.base import FETModel
+from repro.devices.base import FETModel, OperatingBox
 from repro.physics.constants import CNT_QUANTUM_RESISTANCE_OHM
 
 __all__ = ["SeriesResistanceFET", "ContactModel"]
@@ -38,12 +38,40 @@ class SeriesResistanceFET(FETModel):
     subthreshold region where Newton overshoots).
     """
 
+    # Scalar evaluation is a bracketed root find around the inner
+    # device: keep small FET groups on the batched linearize path.
+    prefer_batched_points = True
+
     def __init__(self, inner: FETModel, r_source_ohm: float, r_drain_ohm: float):
         if r_source_ohm < 0.0 or r_drain_ohm < 0.0:
             raise ValueError("contact resistances must be >= 0")
         self.inner = inner
         self.r_source_ohm = r_source_ohm
         self.r_drain_ohm = r_drain_ohm
+        # Unequal contact resistances break the source/drain exchange
+        # symmetry (the mirror swaps which resistor plays "source"), so
+        # surrogate compilation must tabulate both drain polarities.
+        self.mirror_symmetric = r_source_ohm == r_drain_ohm
+
+    def operating_box(self) -> OperatingBox:
+        box = self.inner.operating_box()
+        if self.mirror_symmetric:
+            return box
+        return OperatingBox(
+            vgs_min=box.vgs_min,
+            vgs_max=box.vgs_max,
+            vds_min=-box.vds_max,
+            vds_max=box.vds_max,
+        )
+
+    def surrogate_token(self):
+        """Stable parameter fingerprint for surrogate content addressing."""
+        return (
+            "SeriesResistanceFET",
+            self.inner,
+            self.r_source_ohm,
+            self.r_drain_ohm,
+        )
 
     @property
     def total_resistance_ohm(self) -> float:

@@ -11,8 +11,9 @@ The paper's Fig. 2 compares inverters built from two behavioural devices:
   the paper's empirical description of measured GNR-FETs.
 
 Both are intentionally phenomenological: Fig. 2's argument is about I-V
-*shape*, not material physics.  A bilinear :class:`TabulatedFET` rounds
-out the module for devices defined by measured/published grids.
+*shape*, not material physics.  The bilinear :class:`TabulatedFET` for
+devices defined by measured/published grids lives with the surrogate
+machinery in :mod:`repro.devices.surrogate` and is re-exported here.
 """
 
 from __future__ import annotations
@@ -22,7 +23,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.devices.base import FETModel, mirror_symmetric_currents
+from repro.devices.base import FETModel, OperatingBox
+from repro.devices.surrogate import TabulatedFET
 from repro.physics.constants import thermal_voltage
 
 __all__ = ["AlphaPowerFET", "NonSaturatingFET", "TabulatedFET"]
@@ -126,11 +128,12 @@ class AlphaPowerFET(FETModel):
             * (1.0 + self.channel_modulation * vds)
         )
 
-    def currents(self, vgs_values, vds_values) -> np.ndarray:
-        return mirror_symmetric_currents(self._forward_currents, vgs_values, vds_values)
-
     def _forward_currents(self, vgs: np.ndarray, vds: np.ndarray) -> np.ndarray:
-        """Elementwise alpha-power current on the vds >= 0 quadrant."""
+        """Elementwise alpha-power current on the vds >= 0 quadrant.
+
+        The base-class ``currents`` wraps this hook in the shared
+        source/drain mirror transform.
+        """
         width = self._softplus_width
         overdrive = width * _softplus_array((vgs - self.vt) / width)
         vdsat = np.maximum(self.sat_fraction * overdrive, 1e-6)
@@ -151,7 +154,14 @@ class NonSaturatingFET(FETModel):
     turns the device off smoothly below threshold while keeping the
     above-threshold conductance roughly linear in gate drive, as measured
     on sub-10 nm GNR devices (paper Refs. [4, 5]).
+
+    The conductance is steered by the gate-*source* voltage at either
+    drain polarity (``I(vgs, -vds) = -I(vgs, vds)``), so the device does
+    **not** obey the source/drain exchange transform — surrogate
+    compilation tabulates both drain polarities directly.
     """
+
+    mirror_symmetric = False
 
     g_on_s: float = 2.0e-4
     vt: float = 0.2
@@ -165,6 +175,17 @@ class NonSaturatingFET(FETModel):
             raise ValueError(f"smoothing must be positive, got {self.smoothing_v}")
         if self.v_on <= self.vt:
             raise ValueError("v_on must exceed vt")
+
+    def operating_box(self) -> OperatingBox:
+        # Both drain polarities are physical operating territory for the
+        # gate-steered resistor; surrogates tabulate the full range.
+        box = OperatingBox()
+        return OperatingBox(
+            vgs_min=box.vgs_min,
+            vgs_max=box.vgs_max,
+            vds_min=-box.vds_max,
+            vds_max=box.vds_max,
+        )
 
     def conductance(self, vgs: float) -> float:
         """Channel conductance G(V_GS) [S]."""
@@ -181,62 +202,3 @@ class NonSaturatingFET(FETModel):
         shape = _softplus_array((vgs - self.vt) / self.smoothing_v)
         norm = _softplus((self.v_on - self.vt) / self.smoothing_v)
         return self.g_on_s * shape / norm * vds
-
-
-class TabulatedFET(FETModel):
-    """FET defined by bilinear interpolation of an I_D(V_GS, V_DS) grid.
-
-    Out-of-range biases clamp to the table edge (flat extrapolation),
-    which keeps Newton iterations bounded.  Negative ``vds`` uses the
-    symmetric-device transformation, so only the vds >= 0 quadrant needs
-    tabulating.
-    """
-
-    def __init__(self, vgs_grid, vds_grid, current_grid):
-        self._vgs = np.asarray(vgs_grid, dtype=float)
-        self._vds = np.asarray(vds_grid, dtype=float)
-        self._id = np.asarray(current_grid, dtype=float)
-        if self._vgs.ndim != 1 or self._vds.ndim != 1:
-            raise ValueError("bias grids must be 1D")
-        if self._id.shape != (self._vgs.size, self._vds.size):
-            raise ValueError(
-                f"current grid shape {self._id.shape} does not match "
-                f"({self._vgs.size}, {self._vds.size})"
-            )
-        if np.any(np.diff(self._vgs) <= 0.0) or np.any(np.diff(self._vds) <= 0.0):
-            raise ValueError("bias grids must be strictly increasing")
-
-    @classmethod
-    def from_model(cls, model: FETModel, vgs_grid, vds_grid) -> "TabulatedFET":
-        """Tabulate any model on the given grid (useful to freeze slow solvers)."""
-        vgs_grid = np.asarray(vgs_grid, dtype=float)
-        vds_grid = np.asarray(vds_grid, dtype=float)
-        grid = np.asarray(model.currents(vgs_grid[:, None], vds_grid[None, :]))
-        return cls(vgs_grid, vds_grid, grid)
-
-    def current(self, vgs: float, vds: float) -> float:
-        if vds < 0.0:
-            return -self.current(vgs - vds, -vds)
-        return float(
-            self._interpolate(
-                np.asarray(vgs, dtype=float), np.asarray(vds, dtype=float)
-            )
-        )
-
-    def currents(self, vgs_values, vds_values) -> np.ndarray:
-        return mirror_symmetric_currents(self._interpolate, vgs_values, vds_values)
-
-    def _interpolate(self, vgs: np.ndarray, vds: np.ndarray) -> np.ndarray:
-        """Elementwise clamped bilinear interpolation on the vds >= 0 quadrant."""
-        vgs_c = np.clip(vgs, self._vgs[0], self._vgs[-1])
-        vds_c = np.clip(vds, self._vds[0], self._vds[-1])
-        i = np.clip(np.searchsorted(self._vgs, vgs_c) - 1, 0, self._vgs.size - 2)
-        j = np.clip(np.searchsorted(self._vds, vds_c) - 1, 0, self._vds.size - 2)
-        tx = (vgs_c - self._vgs[i]) / (self._vgs[i + 1] - self._vgs[i])
-        ty = (vds_c - self._vds[j]) / (self._vds[j + 1] - self._vds[j])
-        return (
-            self._id[i, j] * (1 - tx) * (1 - ty)
-            + self._id[i + 1, j] * tx * (1 - ty)
-            + self._id[i, j + 1] * (1 - tx) * ty
-            + self._id[i + 1, j + 1] * tx * ty
-        )

@@ -11,9 +11,11 @@ separately as :class:`repro.devices.empirical.NonSaturatingFET`.
 
 from __future__ import annotations
 
+import dataclasses
+
 import numpy as np
 
-from repro.devices.base import FETModel, mirror_symmetric_currents
+from repro.devices.base import FETModel
 from repro.physics.electrostatics import ribbon_plate_capacitance
 from repro.physics.gnr import ArmchairGNR, gnr_for_gap
 from repro.transport.ballistic import BallisticParameters, OperatingPoint, TopOfBarrierSolver
@@ -31,6 +33,10 @@ class GNRFET(FETModel):
     disorder, the dominant scattering source in real ribbons, can be
     emulated by passing a shorter ``mfp_override_nm``).
     """
+
+    # Scalar evaluation is a self-consistent barrier solve: small FET
+    # groups should stay on the batched linearize path.
+    prefer_batched_points = True
 
     def __init__(
         self,
@@ -80,9 +86,26 @@ class GNRFET(FETModel):
             return -self.current(vgs - vds, -vds)
         return self._solver.current(vgs, vds)
 
-    def currents(self, vgs_values, vds_values) -> np.ndarray:
+    def _forward_currents(self, vgs, vds) -> np.ndarray:
         """Batched I_D through the vectorised top-of-barrier solver."""
-        return mirror_symmetric_currents(self._solver.currents, vgs_values, vds_values)
+        return self._solver.currents(vgs, vds)
+
+    def grid_currents(self, vgs_grid, vds_grid) -> np.ndarray:
+        """Outer-grid fill via the solver's warm-started column sweep."""
+        vds_grid = np.asarray(vds_grid, dtype=float)
+        if np.any(vds_grid < 0.0):
+            return super().grid_currents(vgs_grid, vds_grid)
+        return self._solver.grid_currents(vgs_grid, vds_grid)
+
+    def surrogate_token(self):
+        """Stable parameter fingerprint for surrogate content addressing."""
+        return (
+            "GNRFET",
+            self.ribbon.n_dimer,
+            self.channel_length_nm,
+            len(self.bands.subbands),
+            dataclasses.astuple(self.params),
+        )
 
     def operating_point(self, vgs: float, vds: float) -> OperatingPoint:
         """Full self-consistent solution (barrier height, charge, current)."""

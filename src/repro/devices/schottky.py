@@ -49,6 +49,10 @@ class SchottkyBarrierCNTFET(FETModel):
         barriers are transparent, e00 ~ 50-100 meV.
     """
 
+    # Scalar evaluation runs the intrinsic barrier solve plus a
+    # Landauer integral: keep small FET groups on the batched path.
+    prefer_batched_points = True
+
     def __init__(
         self,
         intrinsic: CNTFET,
@@ -100,6 +104,15 @@ class SchottkyBarrierCNTFET(FETModel):
             integral_ev = float(np.trapezoid(transmission * window, energies))
             total += band.degeneracy * Q * Q / H * integral_ev
         return total
+
+    def surrogate_token(self):
+        """Stable parameter fingerprint for surrogate content addressing."""
+        return (
+            "SchottkyBarrierCNTFET",
+            self.intrinsic.surrogate_token(),
+            self.barrier_ev,
+            self.tunneling_energy_ev,
+        )
 
     def injection_limited_fraction(self, vgs: float, vds: float) -> float:
         """I_schottky / I_intrinsic at a bias point, in (0, 1]."""

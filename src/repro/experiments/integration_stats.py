@@ -95,6 +95,7 @@ def inverter_variability_sigma_v(
     vdd: float = VDD,
     n_levels: int = 13,
     chunk_size: int | None = None,
+    device=None,
 ) -> float:
     """Std-dev [V] of an inverter's switching threshold under drive spread.
 
@@ -106,14 +107,14 @@ def inverter_variability_sigma_v(
     of ``V_M`` is the noise-margin erosion the paper's tube statistics
     imply for a logic stage.
     """
+    if device is None:
+        device = AlphaPowerFET()
     levels = np.linspace(0.25 * vdd, 0.75 * vdd, n_levels)
     outputs = np.empty((n_levels, n_instances))
     solved = np.ones(n_instances, dtype=bool)
     variation = None
     for row, level in enumerate(levels):
-        cell = build_inverter(
-            AlphaPowerFET(), vdd=vdd, input_waveform=DC(float(level))
-        )
+        cell = build_inverter(device, vdd=vdd, input_waveform=DC(float(level)))
         engine = CircuitMonteCarlo(cell.circuit)
         if variation is None:
             # One draw shared by every level: instance i is the *same*
@@ -155,8 +156,18 @@ def run_integration_stats(
     n_delay_instances: int = 64,
     chunk_size: int | None = None,
     workers: int | None = None,
+    device=None,
 ) -> IntegrationResult:
-    """Run the full Section V statistical pipeline."""
+    """Run the full Section V statistical pipeline.
+
+    ``device`` selects the inverter FET of the circuit-level rows
+    (switching-threshold and delay sigmas); the default is the
+    behavioural :class:`~repro.devices.empirical.AlphaPowerFET`, and
+    the CLI's ``--physical`` stack passes the surrogate-compiled
+    CNT-FET instead.
+    """
+    if device is None:
+        device = AlphaPowerFET()
     growth = GrowthDistribution()
     semi_fraction = growth.semiconducting_fraction()
 
@@ -202,12 +213,13 @@ def run_integration_stats(
         n_instances=n_circuit_instances,
         seed=seed,
         chunk_size=chunk_size,
+        device=device,
     )
 
     # The same drive spread pushed through actual switching transients:
     # one batched CircuitTransientMC run over every fabricated copy.
     delay_dist = delay_energy_distribution(
-        AlphaPowerFET(),
+        device,
         n_delay_instances,
         drive_sigma=drive_sigma,
         seed=seed,

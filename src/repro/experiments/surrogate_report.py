@@ -1,0 +1,139 @@
+"""Surrogate subsystem report: table accuracy and measured speedup.
+
+The ``surrogate`` CLI experiment compiles the paper's benchmark
+ballistic CNT-FET into its cached :class:`~repro.devices.surrogate.
+SurrogateFET` and reports how faithful — and how much faster — the
+spline table is compared to direct top-of-barrier evaluation:
+
+* deterministic accuracy rows (snapshotted by the golden suite): grid
+  shape, the adaptive fit residual, the max relative current error on
+  an off-node probe grid, the on-current agreement, and the error of a
+  :class:`~repro.circuit.sweep.ScaledShiftedFET` variation wrapper
+  composed *around* the surrogate (no recompilation — the batched
+  Monte Carlo composition path);
+* wall-clock rows (suffixed ``[wall-clock]``; the golden suite checks
+  their labels but not their machine-dependent values): per-point
+  evaluation cost of both paths and the resulting speedup.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.devices.cntfet import CNTFET
+from repro.devices.surrogate import (
+    SurrogateFET,
+    compile_surrogate,
+    surrogate_fidelity,
+)
+
+__all__ = ["SurrogateReport", "run_surrogate_report", "WALL_CLOCK_SUFFIX"]
+
+# Rows carrying this suffix are machine-dependent timings: the golden
+# regression suite pins their labels but not their values.
+WALL_CLOCK_SUFFIX = "[wall-clock]"
+
+_VDD = 1.0
+_N_TIMED_POINTS = 64
+
+
+@dataclass(frozen=True)
+class SurrogateReport:
+    """Accuracy and speed of one compiled surrogate vs its source model."""
+
+    n_vgs: int
+    n_vds: int
+    fit_error: float
+    max_rel_error: float
+    on_current_direct_a: float
+    on_current_surrogate_a: float
+    variation_rel_error: float
+    direct_us_per_point: float
+    surrogate_us_per_point: float
+
+    @property
+    def speedup(self) -> float:
+        return self.direct_us_per_point / self.surrogate_us_per_point
+
+    def rows(self) -> list[tuple[str, float]]:
+        rows = [
+            ("table grid points (vgs axis)", float(self.n_vgs)),
+            ("table grid points (vds axis)", float(self.n_vds)),
+            ("adaptive fit residual (asinh)", self.fit_error),
+            ("max rel current error vs direct", self.max_rel_error),
+            ("on-current, direct [uA]", self.on_current_direct_a * 1e6),
+            ("on-current, surrogate [uA]", self.on_current_surrogate_a * 1e6),
+            ("variation-wrapper rel error", self.variation_rel_error),
+        ]
+        if np.isfinite(self.direct_us_per_point):
+            rows += [
+                (f"direct eval [us/point] {WALL_CLOCK_SUFFIX}", self.direct_us_per_point),
+                (
+                    f"surrogate eval [us/point] {WALL_CLOCK_SUFFIX}",
+                    self.surrogate_us_per_point,
+                ),
+                (f"surrogate speedup {WALL_CLOCK_SUFFIX}", self.speedup),
+            ]
+        return rows
+
+
+def _probe_points(surrogate: SurrogateFET, n: int) -> tuple[np.ndarray, np.ndarray]:
+    """Deterministic off-node probe biases inside the tabulated box."""
+    rng = np.random.default_rng(20140314)
+    vgs = rng.uniform(surrogate.vgs_grid[0], surrogate.vgs_grid[-1], n)
+    vds = rng.uniform(surrogate.vds_grid[0], surrogate.vds_grid[-1], n)
+    return vgs, vds
+
+
+def _us_per_point(evaluate, vgs: np.ndarray, vds: np.ndarray, repeats: int) -> float:
+    best = np.inf
+    for _ in range(repeats):
+        start = time.perf_counter()
+        evaluate(vgs, vds)
+        best = min(best, time.perf_counter() - start)
+    return best / vgs.size * 1e6
+
+
+def run_surrogate_report(
+    device=None, *, measure_speedup: bool = True
+) -> SurrogateReport:
+    """Compile (or load from cache) the benchmark surrogate and grade it."""
+    from repro.circuit.sweep import ScaledShiftedFET
+
+    device = CNTFET.reference_device() if device is None else device
+    surrogate = compile_surrogate(device)
+
+    max_rel = surrogate_fidelity(surrogate, device)
+
+    # Drive-scale / threshold-shift composition around the surrogate —
+    # the FETVariation semantics of the batched MC engines, applied
+    # without recompiling the table.
+    vgs, vds = _probe_points(surrogate, _N_TIMED_POINTS)
+    wrapped_surrogate = ScaledShiftedFET(surrogate, 1.15, 0.02)
+    wrapped_direct = ScaledShiftedFET(device, 1.15, 0.02)
+    reference = wrapped_direct.currents(vgs, vds)
+    approx = wrapped_surrogate.currents(vgs, vds)
+    scale = float(np.max(np.abs(reference)))
+    variation_rel = float(
+        np.max(np.abs(approx - reference) / np.maximum(np.abs(reference), 1e-6 * scale))
+    )
+
+    direct_us = surrogate_us = np.nan
+    if measure_speedup:
+        direct_us = _us_per_point(device.currents, vgs, vds, repeats=2)
+        surrogate_us = _us_per_point(surrogate.currents, vgs, vds, repeats=5)
+
+    return SurrogateReport(
+        n_vgs=int(surrogate.vgs_grid.size),
+        n_vds=int(surrogate.vds_grid.size),
+        fit_error=float(surrogate.fit_error),
+        max_rel_error=max_rel,
+        on_current_direct_a=float(device.current(_VDD, _VDD)),
+        on_current_surrogate_a=float(surrogate.current(_VDD, _VDD)),
+        variation_rel_error=variation_rel,
+        direct_us_per_point=direct_us,
+        surrogate_us_per_point=surrogate_us,
+    )

@@ -175,23 +175,64 @@ class TopOfBarrierSolver:
         vectorised device models (and through them the compiled circuit
         assembly and curve tabulation) call.
         """
+        currents, _ = self.solve_currents(vgs_values, vds_values)
+        return currents
+
+    def solve_currents(self, vgs_values, vds_values, barrier_guess=None):
+        """Batched solve returning ``(currents, barriers)`` (broadcast shape).
+
+        The exposed form of the chunked barrier Newton: callers that
+        sweep smoothly varying bias families (the surrogate table fill)
+        can feed one solve's barriers back as ``barrier_guess`` for the
+        next, cutting the iteration count roughly in half.  With no
+        guess the iterates are identical to :meth:`solve`.
+        """
         vgs = np.asarray(vgs_values, dtype=float)
         vds = np.asarray(vds_values, dtype=float)
         if vgs.shape != vds.shape:
             vgs, vds = np.broadcast_arrays(vgs, vds)
         flat_vgs = np.ascontiguousarray(vgs.ravel())
         flat_vds = np.ascontiguousarray(vds.ravel())
+        flat_guess = None
+        if barrier_guess is not None:
+            flat_guess = np.ascontiguousarray(
+                np.broadcast_to(np.asarray(barrier_guess, dtype=float), vgs.shape).ravel()
+            )
         out = np.empty(flat_vgs.size)
+        barriers = np.empty(flat_vgs.size)
         for start in range(0, flat_vgs.size, _BATCH_CHUNK):
             chunk = slice(start, start + _BATCH_CHUNK)
-            out[chunk] = self._solve_chunk(flat_vgs[chunk], flat_vds[chunk])
-        return out.reshape(vgs.shape)
+            guess = None if flat_guess is None else flat_guess[chunk]
+            out[chunk], barriers[chunk] = self._solve_chunk(
+                flat_vgs[chunk], flat_vds[chunk], guess
+            )
+        return out.reshape(vgs.shape), barriers.reshape(vgs.shape)
 
     def iv_surface(self, vgs_values, vds_values) -> np.ndarray:
         """I_D [A] on the outer product grid (len(vgs), len(vds))."""
         vgs_values = np.asarray(vgs_values, dtype=float)
         vds_values = np.asarray(vds_values, dtype=float)
         return self.currents(vgs_values[:, None], vds_values[None, :])
+
+    def grid_currents(self, vgs_values, vds_values) -> np.ndarray:
+        """Warm-started table fill on the outer grid (len(vgs), len(vds)).
+
+        Solves one ``vds`` column at a time, seeding each column's
+        barrier Newton with the previous column's converged barriers —
+        the barrier moves smoothly with drain bias, so later columns
+        converge in a fraction of the cold-start iterations.  This is
+        the batched fill entry the surrogate compiler consumes through
+        :meth:`repro.devices.base.FETModel.grid_currents`.
+        """
+        vgs = np.asarray(vgs_values, dtype=float)
+        vds = np.asarray(vds_values, dtype=float)
+        out = np.empty((vgs.size, vds.size))
+        barriers = None
+        for j in range(vds.size):
+            out[:, j], barriers = self.solve_currents(
+                vgs, np.full(vgs.size, vds[j]), barrier_guess=barriers
+            )
+        return out
 
     def with_transmission(self, transmission: float) -> "TopOfBarrierSolver":
         """A copy of this solver with a different channel transmission."""
@@ -246,12 +287,15 @@ class TopOfBarrierSolver:
         return total
 
     # -- batched internals (one array axis = bias points) -----------------------
-    def _solve_chunk(self, vgs: np.ndarray, vds: np.ndarray) -> np.ndarray:
-        """Self-consistent barriers and currents for one slab of bias points.
+    def _solve_chunk(
+        self, vgs: np.ndarray, vds: np.ndarray, barrier_guess: np.ndarray | None = None
+    ):
+        """(currents, barriers) of one slab of bias points.
 
-        Mirrors :meth:`solve` exactly: same initial guess, residual
-        tolerance, step damping and iteration cap — applied elementwise,
-        with converged points frozen out of the active set.
+        Mirrors :meth:`solve` exactly: same initial guess (unless a
+        warm-start ``barrier_guess`` is given), residual tolerance, step
+        damping and iteration cap — applied elementwise, with converged
+        points frozen out of the active set.
         """
         params = self.params
         mu_d = -vds
@@ -259,7 +303,7 @@ class TopOfBarrierSolver:
         charging_ev_m = Q / params.c_ins_f_per_m
         max_step = 10.0 * self._kt
 
-        barrier = u_laplace.copy()
+        barrier = u_laplace.copy() if barrier_guess is None else barrier_guess.copy()
         active = np.arange(vgs.size)
         for _ in range(_MAX_NEWTON_ITERATIONS):
             density, cache = self._density_batch(barrier[active], mu_d[active])
@@ -276,7 +320,7 @@ class TopOfBarrierSolver:
             slope = 1.0 - charging_ev_m * ddensity
             step = np.clip(-residual[keep] / slope, -max_step, max_step)
             barrier[active] += step
-        return self._current_batch(barrier, mu_d)
+        return self._current_batch(barrier, mu_d), barrier
 
     def _k_grid_batch(self, band, edge_abs_ev: np.ndarray, mu_max: np.ndarray):
         e_top_rel = np.maximum(mu_max - edge_abs_ev, 0.0) + 30.0 * self._kt

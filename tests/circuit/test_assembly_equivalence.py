@@ -58,6 +58,22 @@ def mixed_chain(n_stages=5):
     return c
 
 
+def single_fet():
+    """One FET + one p-mirror FET, each alone in its device group.
+
+    Exercises the compiled plan's scalar fast path (``count == 1``
+    groups stamp through ``linearize_point`` with plain-int indices)
+    against the element-walking reference.
+    """
+    c = Circuit("single-fet")
+    c.add_voltage_source("VD", "d", "0", DC(0.8))
+    c.add_voltage_source("VG", "g", "0", DC(0.5))
+    c.add_fet("M1", "d", "g", "0", AlphaPowerFET())
+    c.add_fet("M2", "d", "g", "0", PType(NonSaturatingFET()))
+    c.add_resistor("RL", "d", "0", 1e5)
+    return c
+
+
 def big_ladder():
     """Resistor/FET ladder large enough to cross the sparse threshold."""
     c = Circuit("big-ladder")
@@ -76,6 +92,7 @@ def big_ladder():
 CIRCUITS = {
     "rc_ladder": rc_ladder,
     "inverter": inverter,
+    "single_fet": single_fet,
     "mixed_chain": mixed_chain,
     "big_ladder": big_ladder,
 }

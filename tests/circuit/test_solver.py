@@ -71,6 +71,61 @@ class TestNewton:
         assert system.voltage_of(x_half, "a") == pytest.approx(1.0)
 
 
+class TestBatchedLineSearch:
+    """The damping ladder of a rejected full step runs batched.
+
+    One :meth:`~repro.circuit.assembly.StampPlan.evaluate_many` call
+    covers ``_TRIAL_BATCH`` damping candidates; acceptance must be the
+    first candidate the sequential ladder would have accepted, so the
+    solver's trajectory (and solution) matches the scalar reference.
+    """
+
+    def _chain(self, n_stages=5):
+        c = Circuit()
+        c.add_voltage_source("VDD", "vdd", "0", DC(1.0))
+        c.add_voltage_source("VIN", "s0", "0", DC(0.0))
+        fet = AlphaPowerFET()
+        for i in range(n_stages):
+            c.add_fet(f"MP{i}", f"s{i+1}", f"s{i}", "vdd", PType(fet))
+            c.add_fet(f"MN{i}", f"s{i+1}", f"s{i}", "0", fet)
+        return c
+
+    def test_backtracking_routes_through_evaluate_many(self, monkeypatch):
+        system = self._chain().build_system()
+        plan = system._plan
+        calls = {"many": 0}
+        original = plan.evaluate_many
+
+        def counting(x_stack, **kwargs):
+            calls["many"] += 1
+            return original(x_stack, **kwargs)
+
+        monkeypatch.setattr(plan, "evaluate_many", counting)
+        # An adversarial start (rails inverted) forces damped steps.
+        x0 = np.full(system.size, 0.5)
+        x0[system.node_index("vdd")] = -1.0
+        x, converged = newton_solve(system, x0)
+        residual, _ = system.evaluate_dense(x)
+        assert calls["many"] > 0
+        assert np.max(np.abs(residual)) < 1e-8 or not converged
+
+    def test_batched_ladder_matches_sequential_ladder(self):
+        system = self._chain().build_system()
+        x0 = np.full(system.size, 0.5)
+        x0[system.node_index("vdd")] = -1.0
+        x_batched, ok_batched = newton_solve(system, x0)
+
+        # Hiding the compiled plan forces the sequential scalar ladder
+        # (reference-evaluator Newton); it must accept the same damping
+        # sequence and land on the same solution.
+        system2 = self._chain().build_system()
+        system2._plan = None
+        system2.evaluate = system2.evaluate_dense
+        x_scalar, ok_scalar = newton_solve(system2, x0)
+        assert ok_batched == ok_scalar
+        np.testing.assert_allclose(x_batched, x_scalar, atol=1e-7)
+
+
 class TestStiffCircuits:
     def test_wide_conductance_spread(self):
         # 9 decades of resistance spread in one circuit.

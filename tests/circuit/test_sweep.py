@@ -362,3 +362,45 @@ class TestEngineDeterminism:
         ]
         assert stats[0] == pytest.approx(stats[1], abs=1e-12)
         assert stats[1] == pytest.approx(stats[2], abs=1e-12)
+
+
+class TestCurrentSourceBatch:
+    """Batched stacks stamp shared current sources into *every* row.
+
+    Regression net for a ``np.add.at`` partial-broadcast hazard: with a
+    shared ``(n_isrc,)`` value array against ``(m, n_isrc)`` per-row
+    indices, rows after the first silently read out-of-bounds memory.
+    """
+
+    def _biased_circuit(self):
+        c = Circuit("isrc")
+        c.add_voltage_source("VDD", "vdd", "0", DC(1.0))
+        c.add_voltage_source("VIN", "in", "0", DC(0.4))
+        fet = AlphaPowerFET()
+        c.add_fet("MP", "out", "in", "vdd", PType(fet))
+        c.add_fet("MN", "out", "in", "0", fet)
+        c.add_current_source("I1", "vdd", "out", DC(1e-5))
+        c.add_current_source("I2", "out", "0", DC(2e-5))
+        return c
+
+    def test_identical_instances_share_one_solution(self):
+        circuit = self._biased_circuit()
+        engine = CircuitMonteCarlo(circuit)
+        nominal = FETVariation.nominal(5, len(engine.fet_names))
+        result = engine.run(nominal)
+        assert result.converged.all()
+        scalar = solve_dc(circuit.build_system())
+        for i in range(nominal.n_instances):
+            np.testing.assert_allclose(result.x[i], scalar, atol=1e-8)
+
+    def test_residual_rows_match_scalar_evaluation(self):
+        engine = CircuitMonteCarlo(self._biased_circuit())
+        rng = np.random.default_rng(3)
+        xs = rng.normal(scale=0.5, size=(4, engine.plan.size))
+        residuals, jacobians = engine._evaluate_batch(
+            xs, FETVariation.nominal(4, len(engine.fet_names))
+        )
+        for i in range(xs.shape[0]):
+            res, jac = engine.system.evaluate_dense(xs[i])
+            np.testing.assert_allclose(residuals[i], res, atol=1e-12)
+            np.testing.assert_allclose(jacobians[i], jac, atol=1e-12)

@@ -45,3 +45,21 @@ class TestDispatch:
         for name, (description, runner) in EXPERIMENTS.items():
             assert isinstance(description, str) and description
             assert callable(runner)
+
+
+class TestPhysicalStack:
+    def test_physical_registry_is_a_subset(self):
+        from repro.cli import PHYSICAL_EXPERIMENTS
+
+        assert set(PHYSICAL_EXPERIMENTS) <= set(EXPERIMENTS)
+        assert {"cascade", "timing", "integration"} <= set(PHYSICAL_EXPERIMENTS)
+
+    def test_physical_flag_rejects_unsupported_experiments(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["fig1", "--physical"])
+        assert excinfo.value.code != 0
+
+    def test_listing_marks_physical_experiments(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "[--physical]" in out
