@@ -21,7 +21,12 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.circuit.cells import build_inverter
-from repro.circuit.sweep import CircuitTransientMC, FETVariation, SweepPlan
+from repro.circuit.sweep import (
+    CircuitTransientMC,
+    ExecutionPolicy,
+    FETVariation,
+    SweepPlan,
+)
 from repro.circuit.transient import TransientResult
 from repro.circuit.waveforms import Pulse
 from repro.devices.base import FETModel
@@ -370,6 +375,7 @@ def delay_energy_distribution(
     dt_s: float = 5e-12,
     chunk_size: int | None = None,
     workers: int | None = None,
+    policy: ExecutionPolicy | None = None,
 ) -> DelayEnergyDistribution:
     """Delay / energy-per-transition distributions of a varied inverter.
 
@@ -391,7 +397,12 @@ def delay_energy_distribution(
         vth_sigma_v=vth_sigma_v,
     )
     result = engine.run(
-        variation, t_stop_s, dt_s, chunk_size=chunk_size, workers=workers
+        variation,
+        t_stop_s,
+        dt_s,
+        chunk_size=chunk_size,
+        workers=workers,
+        policy=policy,
     )
     tp_hl = np.empty(n_instances)
     tp_lh = np.empty(n_instances)

@@ -40,6 +40,20 @@ scalar fallback for instances that fail a step — the substrate for the
 paper's variability/yield statistics and delay/energy distributions.
 Waveforms are bitwise invariant to chunk size, instance order, and
 serial vs. process-pool execution.
+
+Fault tolerance (:mod:`repro.circuit.resilience`): passing an
+:class:`ExecutionPolicy` to any sweep routes chunks through a
+supervisor — per-chunk timeouts, bounded retries with backoff, pool
+reconstruction after worker crashes, serial in-process execution as
+the last degradation rung, and optional chunk-granular checkpoints
+for kill-and-resume.  Because chunk substreams are position-keyed,
+a retried, degraded, or resumed chunk reproduces the pooled original
+bitwise; every run yields a :class:`RunReport` (per-chunk status,
+attempts, failure taxonomy), and irrecoverable runs raise
+:class:`SweepExecutionError` carrying the report plus salvaged
+partial results.  A deterministic :class:`FaultPlan` injects worker
+crashes, hangs, raises, and corrupt payloads at chosen chunks so the
+recovery ladder itself is under test.
 """
 
 from repro.circuit.ac import ACResult, ac_analysis
@@ -58,6 +72,14 @@ from repro.circuit.cells import (
 )
 from repro.circuit.dc import OperatingPointResult, SweepResult, dc_sweep, operating_point
 from repro.circuit.netlist import Circuit, CircuitError
+from repro.circuit.resilience import (
+    CheckpointStore,
+    ExecutionPolicy,
+    FaultPlan,
+    FaultSpec,
+    RunReport,
+    SweepExecutionError,
+)
 from repro.circuit.sweep import (
     CircuitMonteCarlo,
     CircuitTransientMC,
@@ -76,19 +98,25 @@ __all__ = [
     "ACResult",
     "Circuit",
     "CircuitError",
+    "CheckpointStore",
     "CircuitMonteCarlo",
     "CircuitTransientMC",
     "ConvergenceError",
     "ConvergenceReport",
     "DC",
+    "ExecutionPolicy",
+    "FaultPlan",
+    "FaultSpec",
     "FETVariation",
     "InverterCell",
     "MonteCarloResult",
     "OperatingPointResult",
     "PiecewiseLinear",
     "Pulse",
+    "RunReport",
     "ScaledShiftedFET",
     "Sine",
+    "SweepExecutionError",
     "SweepPlan",
     "SweepResult",
     "SweepStatistics",

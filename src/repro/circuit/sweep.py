@@ -88,6 +88,12 @@ from repro.circuit.elements import (
     VoltageSource,
 )
 from repro.circuit.netlist import Circuit
+from repro.circuit.resilience import (
+    ExecutionPolicy,
+    RunReport,
+    fingerprint,
+    run_supervised,
+)
 from repro.circuit.solver import (
     _MAX_ITERATIONS,
     _RESIDUAL_ATOL,
@@ -104,6 +110,7 @@ from repro.devices.base import FETModel, PType
 
 __all__ = [
     "SweepPlan",
+    "ExecutionPolicy",
     "FETVariation",
     "CircuitMonteCarlo",
     "CircuitTransientMC",
@@ -218,6 +225,7 @@ class SweepPlan:
         vectorized: bool = False,
         payload=None,
         substream_block: int = DEFAULT_SUBSTREAM_BLOCK,
+        validate=None,
     ):
         if substream_block < 1:
             raise ValueError(f"substream block must be >= 1, got {substream_block}")
@@ -225,31 +233,16 @@ class SweepPlan:
         self.vectorized = vectorized
         self.payload = payload
         self.substream_block = substream_block
+        self.validate = validate
 
-    def run(
-        self,
-        params,
-        *,
-        seed: int | None = None,
-        chunk_size: int | None = None,
-        workers: int | None = None,
-    ) -> list:
-        """Map the kernel over ``params``; results keep the input order.
+    def _prepare(self, params, seed, chunk_size, workers):
+        """Chunk ``params`` into pool specs; ``(specs, counts, seed_token)``.
 
-        ``seed`` (an int, or a pre-spawned
-        :class:`numpy.random.SeedSequence` when a caller derives several
-        independent sweeps from one user seed) derives one substream per
-        instance (scalar kernels) or per block (vectorized kernels) via
-        ``SeedSequence.spawn`` — the draws depend only on the instance
-        position, never on ``chunk_size`` or ``workers``.  ``workers`` >
-        1 dispatches whole chunks to a process pool (kernel, params and
-        payload must pickle).
+        ``counts[k]`` is the number of per-instance results chunk ``k``
+        must return — the structural schema enforced at the supervised
+        merge boundary.
         """
-        params = list(params)
         n = len(params)
-        if n == 0:
-            return []
-
         root = None
         if seed is not None:
             root = (
@@ -263,9 +256,11 @@ class SweepPlan:
             blocks = [
                 (params[start:stop], seq) for (start, stop), seq in zip(ranges, seqs)
             ]
+            sizes = [stop - start for start, stop in ranges]
         else:
             seqs = root.spawn(n) if root is not None else [None] * n
             blocks = list(zip(params, seqs))
+            sizes = [1] * n
 
         use_pool = workers is not None and workers > 1 and len(blocks) > 1
         if chunk_size is None:
@@ -282,17 +277,124 @@ class SweepPlan:
                 if self.vectorized
                 else chunk_size
             )
-        chunks = [
-            blocks[i : i + per_chunk] for i in range(0, len(blocks), per_chunk)
+        specs = [
+            (self.kernel, self.vectorized, self.payload, blocks[i : i + per_chunk])
+            for i in range(0, len(blocks), per_chunk)
         ]
+        counts = [
+            sum(sizes[i : i + per_chunk])
+            for i in range(0, len(sizes), per_chunk)
+        ]
+        seed_token = (
+            None
+            if root is None
+            else (int(root.entropy), tuple(root.spawn_key), root.pool_size)
+        )
+        return specs, counts, seed_token, per_chunk
 
-        specs = [(self.kernel, self.vectorized, self.payload, chunk) for chunk in chunks]
-        if use_pool and len(specs) > 1:
+    def run(
+        self,
+        params,
+        *,
+        seed: int | None = None,
+        chunk_size: int | None = None,
+        workers: int | None = None,
+        policy: ExecutionPolicy | None = None,
+    ) -> list:
+        """Map the kernel over ``params``; results keep the input order.
+
+        ``seed`` (an int, or a pre-spawned
+        :class:`numpy.random.SeedSequence` when a caller derives several
+        independent sweeps from one user seed) derives one substream per
+        instance (scalar kernels) or per block (vectorized kernels) via
+        ``SeedSequence.spawn`` — the draws depend only on the instance
+        position, never on ``chunk_size`` or ``workers``.  ``workers`` >
+        1 dispatches whole chunks to a process pool (kernel, params and
+        payload must pickle).
+
+        ``policy`` routes the run through the fault-tolerant supervisor
+        (:mod:`repro.circuit.resilience`): per-chunk timeouts, bounded
+        retries with pool rebuild, serial degradation, chunk-granular
+        checkpoint/resume.  Results are bitwise identical either way —
+        a chunk's output depends only on its spec, never on where or
+        how often it executes.
+        """
+        if policy is not None:
+            results, _ = self.run_supervised(
+                params,
+                seed=seed,
+                chunk_size=chunk_size,
+                workers=workers,
+                policy=policy,
+            )
+            return results
+        params = list(params)
+        if len(params) == 0:
+            return []
+        specs, _, _, _ = self._prepare(params, seed, chunk_size, workers)
+        use_pool = workers is not None and workers > 1 and len(specs) > 1
+        if use_pool:
             with ProcessPoolExecutor(max_workers=workers) as pool:
                 chunk_results = list(pool.map(_run_chunk, specs))
         else:
             chunk_results = [_run_chunk(spec) for spec in specs]
         return [result for chunk in chunk_results for result in chunk]
+
+    def run_supervised(
+        self,
+        params,
+        *,
+        seed: int | None = None,
+        chunk_size: int | None = None,
+        workers: int | None = None,
+        policy: ExecutionPolicy | None = None,
+    ) -> tuple[list, RunReport]:
+        """:meth:`run` under the supervisor; returns ``(results, report)``.
+
+        Raises :class:`~repro.circuit.resilience.SweepExecutionError`
+        (report and salvaged chunks attached) if any chunk stays failed
+        after timeouts, retries, pool rebuilds and the serial rung.
+        The checkpoint run key fingerprints (kernel, payload, seed,
+        chunking), so resuming requires the same ``chunk_size``; a
+        changed input simply misses the cache and recomputes.
+        """
+        params = list(params)
+        policy = ExecutionPolicy() if policy is None else policy
+        if len(params) == 0:
+            empty = RunReport(chunks=[], workers=workers, pool_rebuilds=0, wall_s=0.0)
+            policy.reports.append(empty)
+            return [], empty
+        specs, counts, seed_token, per_chunk = self._prepare(
+            params, seed, chunk_size, workers
+        )
+        kernel_token = f"{self.kernel.__module__}.{self.kernel.__qualname__}"
+        # The payload digest keeps sweeps that differ only in payload
+        # (e.g. the same kernel over different compiled circuits) in
+        # separate checkpoint run directories; computed only when a
+        # checkpoint store is actually configured.
+        payload_token = (
+            fingerprint(self.payload)
+            if policy.checkpoint_root is not None
+            else None
+        )
+        run_token = (
+            kernel_token,
+            self.vectorized,
+            self.substream_block,
+            per_chunk,
+            len(params),
+            seed_token,
+            payload_token,
+        )
+        return run_supervised(
+            specs,
+            chunk_fn=_run_chunk,
+            expected_counts=counts,
+            workers=workers,
+            policy=policy,
+            validate=self.validate,
+            run_token=run_token,
+        )
 
 
 # ---------------------------------------------------------------------------
@@ -663,25 +765,55 @@ class TransientMCResult:
         )
 
 
-def _concat_results(parts: list[MonteCarloResult]) -> MonteCarloResult:
-    first = parts[0]
+def _concat_results(
+    parts: list[MonteCarloResult],
+    *,
+    size: int,
+    node_index: dict[str, int],
+    branch_index: dict[str, int],
+) -> MonteCarloResult:
+    """Stack chunk results; zero chunks yield a well-formed empty result."""
+    if not parts:
+        return MonteCarloResult(
+            x=np.empty((0, size)),
+            converged=np.zeros(0, dtype=bool),
+            node_index=node_index,
+            branch_index=branch_index,
+        )
     return MonteCarloResult(
         x=np.concatenate([p.x for p in parts], axis=0),
         converged=np.concatenate([p.converged for p in parts]),
-        node_index=first.node_index,
-        branch_index=first.branch_index,
+        node_index=node_index,
+        branch_index=branch_index,
     )
 
 
-def _concat_transient(parts: list[TransientMCResult]) -> TransientMCResult:
-    first = parts[0]
+def _concat_transient(
+    parts: list[TransientMCResult],
+    *,
+    size: int,
+    n_samples: int,
+    dt_s: float,
+    node_index: dict[str, int],
+    branch_index: dict[str, int],
+) -> TransientMCResult:
+    """Stack chunk trajectories; zero chunks yield a well-formed empty result."""
+    if not parts:
+        return TransientMCResult(
+            samples=np.empty((0, n_samples, size)),
+            dt_s=dt_s,
+            converged=np.zeros(0, dtype=bool),
+            fallback=np.zeros(0, dtype=bool),
+            node_index=node_index,
+            branch_index=branch_index,
+        )
     return TransientMCResult(
         samples=np.concatenate([p.samples for p in parts], axis=0),
-        dt_s=first.dt_s,
+        dt_s=dt_s,
         converged=np.concatenate([p.converged for p in parts]),
         fallback=np.concatenate([p.fallback for p in parts]),
-        node_index=first.node_index,
-        branch_index=first.branch_index,
+        node_index=node_index,
+        branch_index=branch_index,
     )
 
 
@@ -1015,6 +1147,47 @@ def _engine_from_pickle(circuit_bytes: bytes) -> "CircuitMonteCarlo":
     return CircuitMonteCarlo(pickle.loads(circuit_bytes))
 
 
+def _mc_entry_validator(size: int):
+    """Merge-boundary schema of one DC MC entry: ``(x row, converged)``.
+
+    Applied by the supervisor before a pooled chunk may merge, so a
+    corrupt worker payload is rejected (and the chunk retried) at the
+    boundary instead of poisoning the stacked result.
+    """
+
+    def _valid(entry) -> bool:
+        x_i, converged = entry
+        return (
+            isinstance(x_i, np.ndarray)
+            and x_i.shape == (size,)
+            and x_i.dtype.kind == "f"
+            and isinstance(converged, (bool, np.bool_))
+        )
+
+    return _valid
+
+
+def _transient_entry_validator(size: int, n_samples: int):
+    """Merge-boundary schema of one transient MC entry.
+
+    ``(samples (n_samples, size), converged, fallback)`` — NaN samples
+    are legitimate (an instance that failed even the scalar rescue), so
+    only type and shape are checked.
+    """
+
+    def _valid(entry) -> bool:
+        samples, converged, fallback = entry
+        return (
+            isinstance(samples, np.ndarray)
+            and samples.shape == (n_samples, size)
+            and samples.dtype.kind == "f"
+            and isinstance(converged, (bool, np.bool_))
+            and isinstance(fallback, (bool, np.bool_))
+        )
+
+    return _valid
+
+
 def _circuit_chunk_kernel(params_block, rng, payload):
     """SweepPlan kernel: solve one block of variation rows (pool-safe)."""
     circuit_bytes, x0 = payload
@@ -1066,6 +1239,7 @@ class CircuitMonteCarlo(_BatchedNewtonEngine):
         n_instances: int | None = None,
         chunk_size: int | None = None,
         workers: int | None = None,
+        policy: ExecutionPolicy | None = None,
     ) -> MonteCarloResult:
         """Solve all instances; returns stacked solutions in input order.
 
@@ -1075,9 +1249,24 @@ class CircuitMonteCarlo(_BatchedNewtonEngine):
         compiled engine).  Results are bitwise independent of instance
         order, chunking and pooling — each instance's Newton iteration
         is elementwise-independent of its batch neighbours.
+
+        ``policy`` (an :class:`~repro.circuit.resilience.
+        ExecutionPolicy`) runs the sweep under the fault-tolerant
+        supervisor — chunk timeouts, retries, pool rebuilds, serial
+        degradation, checkpoint/resume — with bitwise-identical
+        results; a result row is validated against the engine's schema
+        before it may merge.  Zero instances return a well-formed empty
+        result.
         """
         variation = self._check_variation(variation, n_instances)
         n = variation.n_instances
+        if n == 0:
+            return _concat_results(
+                [],
+                size=self.plan.size,
+                node_index=self.node_index,
+                branch_index=self.branch_index,
+            )
         if self.plan.use_sparse:
             _warn_sparse_fallback(self._ENGINE_NAME, self.plan.size)
             return self._run_sparse(variation)
@@ -1089,7 +1278,7 @@ class CircuitMonteCarlo(_BatchedNewtonEngine):
                 # parallelise at all.
                 chunk_size = min(chunk_size, -(-n // workers))
 
-        if workers is not None and workers > 1:
+        if (workers is not None and workers > 1) or policy is not None:
             # Route chunk dispatch through the generic engine: the
             # kernel rebuilds (and caches) this engine in each worker.
             sweep = SweepPlan(
@@ -1097,9 +1286,12 @@ class CircuitMonteCarlo(_BatchedNewtonEngine):
                 vectorized=True,
                 payload=(pickle.dumps(self.circuit), x0.copy()),
                 substream_block=chunk_size,
+                validate=_mc_entry_validator(self.plan.size),
             )
             rows = list(zip(variation.drive_scale, variation.vth_shift_v))
-            per_instance = sweep.run(rows, chunk_size=chunk_size, workers=workers)
+            per_instance = sweep.run(
+                rows, chunk_size=chunk_size, workers=workers, policy=policy
+            )
             x = np.stack([row[0] for row in per_instance])
             converged = np.array([row[1] for row in per_instance], dtype=bool)
             return MonteCarloResult(
@@ -1113,7 +1305,12 @@ class CircuitMonteCarlo(_BatchedNewtonEngine):
             self._solve_chunk(variation.take(slice(start, stop)), x0)
             for start, stop in _as_blocks(n, chunk_size)
         ]
-        return _concat_results(parts)
+        return _concat_results(
+            parts,
+            size=self.plan.size,
+            node_index=self.node_index,
+            branch_index=self.branch_index,
+        )
 
     def _run_sparse(self, variation: FETVariation) -> MonteCarloResult:
         """Per-instance scalar fallback for plans above the dense threshold."""
@@ -1218,6 +1415,7 @@ class CircuitTransientMC(_BatchedNewtonEngine):
         chunk_size: int | None = None,
         workers: int | None = None,
         step_max_iterations: int = _MAX_ITERATIONS,
+        policy: ExecutionPolicy | None = None,
     ) -> TransientMCResult:
         """March all instances to ``t_stop_s``; samples in input order.
 
@@ -1225,13 +1423,24 @@ class CircuitTransientMC(_BatchedNewtonEngine):
         iteration before the per-instance scalar fallback engages
         (exposed for tests; the default matches the scalar solver).
         Results are bitwise independent of ``chunk_size``, instance
-        order and ``workers``.
+        order and ``workers``.  ``policy`` runs the sweep under the
+        fault-tolerant supervisor (see :class:`CircuitMonteCarlo.run`);
+        zero instances return a well-formed empty result.
         """
         if t_stop_s is None or dt_s is None:
             raise ValueError("give t_stop_s and dt_s")
-        validate_grid(t_stop_s, dt_s, integrator)
+        n_steps = validate_grid(t_stop_s, dt_s, integrator)
         variation = self._check_variation(variation, n_instances)
         n = variation.n_instances
+        if n == 0:
+            return _concat_transient(
+                [],
+                size=self.plan.size,
+                n_samples=n_steps + 1,
+                dt_s=dt_s,
+                node_index=self.node_index,
+                branch_index=self.branch_index,
+            )
 
         if self.plan.use_sparse:
             _warn_sparse_fallback(self._ENGINE_NAME, self.plan.size)
@@ -1242,7 +1451,7 @@ class CircuitTransientMC(_BatchedNewtonEngine):
             if workers is not None and workers > 1:
                 chunk_size = min(chunk_size, -(-n // workers))
 
-        if workers is not None and workers > 1:
+        if (workers is not None and workers > 1) or policy is not None:
             sweep = SweepPlan(
                 _transient_chunk_kernel,
                 vectorized=True,
@@ -1254,9 +1463,12 @@ class CircuitTransientMC(_BatchedNewtonEngine):
                     step_max_iterations,
                 ),
                 substream_block=chunk_size,
+                validate=_transient_entry_validator(self.plan.size, n_steps + 1),
             )
             rows = list(zip(variation.drive_scale, variation.vth_shift_v))
-            per_instance = sweep.run(rows, chunk_size=chunk_size, workers=workers)
+            per_instance = sweep.run(
+                rows, chunk_size=chunk_size, workers=workers, policy=policy
+            )
             return TransientMCResult(
                 samples=np.stack([row[0] for row in per_instance]),
                 dt_s=dt_s,
@@ -1276,7 +1488,14 @@ class CircuitTransientMC(_BatchedNewtonEngine):
             )
             for start, stop in _as_blocks(n, chunk_size)
         ]
-        return _concat_transient(parts)
+        return _concat_transient(
+            parts,
+            size=self.plan.size,
+            n_samples=n_steps + 1,
+            dt_s=dt_s,
+            node_index=self.node_index,
+            branch_index=self.branch_index,
+        )
 
     # -- the lockstep march -----------------------------------------------------
     def _march_chunk(

@@ -20,9 +20,16 @@ because device evaluation happens on the cached spline table
 from __future__ import annotations
 
 import argparse
+import functools
+import sys
 from typing import Callable
 
-__all__ = ["main", "EXPERIMENTS", "PHYSICAL_EXPERIMENTS"]
+__all__ = [
+    "main",
+    "EXPERIMENTS",
+    "PHYSICAL_EXPERIMENTS",
+    "RESUMABLE_EXPERIMENTS",
+]
 
 
 def _physical_device():
@@ -71,10 +78,12 @@ def _run_table1() -> list[tuple]:
     ]
 
 
-def _run_integration() -> list[tuple]:
+def _run_integration(policy=None) -> list[tuple]:
     from repro.experiments.integration_stats import run_integration_stats
 
-    return run_integration_stats(n_array_devices=2000, n_functional_trials=30).rows()
+    return run_integration_stats(
+        n_array_devices=2000, n_functional_trials=30, policy=policy
+    ).rows()
 
 
 def _run_rf() -> list[tuple]:
@@ -95,11 +104,11 @@ def _run_cascade() -> list[tuple]:
     return run_cascade().rows()
 
 
-def _run_fabric() -> list[tuple]:
+def _run_fabric(policy=None) -> list[tuple]:
     from repro.experiments.fabric_density import run_fabric_density
 
     return run_fabric_density(
-        pitches_nm=(8.0, 32.0), purities=(0.9, 1.0), n_samples=3
+        pitches_nm=(8.0, 32.0), purities=(0.9, 1.0), n_samples=3, policy=policy
     ).rows()
 
 
@@ -206,6 +215,32 @@ PHYSICAL_EXPERIMENTS: dict[str, Callable[[], list[tuple]]] = {
     "integration": _run_integration_physical,
 }
 
+# Experiments whose Monte Carlo sweeps accept an ExecutionPolicy: with
+# --resume DIR they run supervised with chunk checkpoints under DIR, so
+# a killed run picks up where it left off.
+RESUMABLE_EXPERIMENTS: dict[str, Callable[..., list[tuple]]] = {
+    "fabric": _run_fabric,
+    "integration": _run_integration,
+}
+
+
+def _resume_policy(resume_dir: str):
+    """Supervised execution with chunk checkpoints under ``resume_dir``."""
+    from repro.circuit.resilience import ExecutionPolicy
+
+    return ExecutionPolicy(timeout_s=300.0, max_retries=2, checkpoint_root=resume_dir)
+
+
+def _persist_report(report, resume_dir: str | None) -> str:
+    """Write the salvaged RunReport next to the checkpoints (or in cwd)."""
+    from pathlib import Path
+
+    target = Path(resume_dir) if resume_dir is not None else Path(".")
+    target.mkdir(parents=True, exist_ok=True)
+    path = target / "run-report.json"
+    path.write_text(report.to_json())
+    return str(path)
+
 
 def _print_rows(title: str, rows: list[tuple]) -> None:
     print(f"=== {title} ===")
@@ -239,6 +274,14 @@ def main(argv: list[str] | None = None) -> int:
         help="run on the surrogate-compiled physical CNT-FET device stack "
         f"(supported: {', '.join(sorted(PHYSICAL_EXPERIMENTS))})",
     )
+    parser.add_argument(
+        "--resume",
+        metavar="DIR",
+        default=None,
+        help="run Monte Carlo sweeps supervised with chunk checkpoints "
+        "under DIR; a rerun after a crash skips finished chunks "
+        f"(supported: {', '.join(sorted(RESUMABLE_EXPERIMENTS))})",
+    )
     args = parser.parse_args(argv)
 
     if args.list or not args.experiments:
@@ -257,12 +300,44 @@ def main(argv: list[str] | None = None) -> int:
             parser.error(
                 "--physical is not supported by: " + ", ".join(unsupported)
             )
+    if args.resume is not None:
+        if args.physical:
+            parser.error("--resume cannot be combined with --physical")
+        unsupported = [
+            name for name in requested if name not in RESUMABLE_EXPERIMENTS
+        ]
+        if unsupported:
+            parser.error("--resume is not supported by: " + ", ".join(unsupported))
+
+    from repro.circuit.resilience import SweepExecutionError
+
     for name in requested:
         description, runner = EXPERIMENTS[name]
         if args.physical:
             description += " (physical CNT-FET stack)"
             runner = PHYSICAL_EXPERIMENTS[name]
-        _print_rows(f"{name} — {description}", runner())
+        call = runner
+        if args.resume is not None:
+            policy = _resume_policy(args.resume)
+            call = functools.partial(RESUMABLE_EXPERIMENTS[name], policy=policy)
+        try:
+            rows = call()
+        except SweepExecutionError as error:
+            # Salvage: persist the structured report, exit with one line.
+            report_path = _persist_report(error.report, args.resume)
+            print(
+                f"repro {name}: FAILED — {error.report.one_line()} "
+                f"(report: {report_path})",
+                file=sys.stderr,
+            )
+            return 2
+        except Exception as error:  # noqa: BLE001 — boundary of the CLI
+            print(
+                f"repro {name}: FAILED — {type(error).__name__}: {error}",
+                file=sys.stderr,
+            )
+            return 1
+        _print_rows(f"{name} — {description}", rows)
     return 0
 
 

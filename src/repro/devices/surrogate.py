@@ -586,10 +586,16 @@ def _store_cached(path: Path, surrogate: SurrogateFET, payload: str) -> None:
     )
     try:
         path.parent.mkdir(parents=True, exist_ok=True)
-        handle = tempfile.NamedTemporaryFile(
-            dir=path.parent, prefix=path.stem, suffix=".tmp", delete=False
+        # mkstemp opens with O_EXCL so concurrent writers each get a private
+        # temp file; os.replace then publishes atomically, and the last
+        # writer wins with every intermediate state a complete file.
+        fd, tmp_name = tempfile.mkstemp(
+            dir=path.parent, prefix=path.stem + "-", suffix=".tmp"
         )
-        with handle:
+    except OSError:
+        return
+    try:
+        with os.fdopen(fd, "wb") as handle:
             np.savez(
                 handle,
                 vgs=surrogate.vgs_grid,
@@ -597,9 +603,15 @@ def _store_cached(path: Path, surrogate: SurrogateFET, payload: str) -> None:
                 table=surrogate.table,
                 meta=np.asarray(meta),
             )
-        os.replace(handle.name, path)
+        os.replace(tmp_name, path)
     except OSError:
         pass
+    finally:
+        # Gone already when os.replace succeeded; never leave .tmp litter.
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
 
 
 # ---------------------------------------------------------------------------

@@ -20,7 +20,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.circuit.sweep import SweepPlan, ensure_seed
+from repro.circuit.sweep import ExecutionPolicy, SweepPlan, ensure_seed
 from repro.devices.fabric import sample_fabric
 from repro.devices.reference import trigate_intel_22nm
 from repro.integration.growth import GrowthDistribution
@@ -113,6 +113,7 @@ def run_fabric_density(
     purities=(0.9, 0.99, 0.999, 0.9999, 1.0),
     n_samples: int = 7,
     seed: int = 77,
+    policy: ExecutionPolicy | None = None,
 ) -> FabricDensityResult:
     """Sweep placement pitch and semiconducting purity of fabrics.
 
@@ -123,12 +124,16 @@ def run_fabric_density(
     """
     pitch_root, purity_root = np.random.SeedSequence(ensure_seed(seed)).spawn(2)
 
-    densities = SweepPlan(_pitch_density_kernel).run(pitches_nm, seed=pitch_root)
+    densities = SweepPlan(_pitch_density_kernel).run(
+        pitches_nm, seed=pitch_root, policy=policy
+    )
 
     corners = [
         (float(purity), sample) for purity in purities for sample in range(n_samples)
     ]
-    ratios = SweepPlan(_purity_on_off_kernel).run(corners, seed=purity_root)
+    ratios = SweepPlan(_purity_on_off_kernel).run(
+        corners, seed=purity_root, policy=policy
+    )
     median_on_off = [
         float(np.median(ratios[i : i + n_samples]))
         for i in range(0, len(corners), n_samples)

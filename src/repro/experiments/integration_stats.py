@@ -35,7 +35,7 @@ import numpy as np
 
 from repro.analysis.timing import delay_energy_distribution
 from repro.circuit.cells import build_inverter
-from repro.circuit.sweep import CircuitMonteCarlo, FETVariation
+from repro.circuit.sweep import CircuitMonteCarlo, ExecutionPolicy, FETVariation
 from repro.circuit.waveforms import DC
 from repro.devices.empirical import AlphaPowerFET
 from repro.integration.growth import GrowthDistribution
@@ -96,6 +96,7 @@ def inverter_variability_sigma_v(
     n_levels: int = 13,
     chunk_size: int | None = None,
     device=None,
+    policy: ExecutionPolicy | None = None,
 ) -> float:
     """Std-dev [V] of an inverter's switching threshold under drive spread.
 
@@ -122,7 +123,7 @@ def inverter_variability_sigma_v(
             variation = FETVariation.sample(
                 n_instances, len(engine.fet_names), seed=seed, drive_sigma=drive_sigma
             )
-        result = engine.run(variation, chunk_size=chunk_size)
+        result = engine.run(variation, chunk_size=chunk_size, policy=policy)
         outputs[row] = result.voltage(cell.output_node)
         solved &= result.converged
 
@@ -157,6 +158,7 @@ def run_integration_stats(
     chunk_size: int | None = None,
     workers: int | None = None,
     device=None,
+    policy: ExecutionPolicy | None = None,
 ) -> IntegrationResult:
     """Run the full Section V statistical pipeline.
 
@@ -185,6 +187,7 @@ def run_integration_stats(
         seed=seed,
         chunk_size=chunk_size,
         workers=workers,
+        policy=policy,
     )
 
     no_removal = shulaker_computer_yield(
@@ -205,6 +208,7 @@ def run_integration_stats(
         seed=seed,
         chunk_size=chunk_size,
         workers=workers,
+        policy=policy,
     )
 
     drive_sigma = array_drive_sigma(array)
@@ -214,6 +218,7 @@ def run_integration_stats(
         seed=seed,
         chunk_size=chunk_size,
         device=device,
+        policy=policy,
     )
 
     # The same drive spread pushed through actual switching transients:
@@ -226,6 +231,7 @@ def run_integration_stats(
         vdd=VDD,
         chunk_size=chunk_size,
         workers=workers,
+        policy=policy,
     )
 
     return IntegrationResult(

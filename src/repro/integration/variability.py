@@ -25,7 +25,12 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.circuit.sweep import SweepPlan, ensure_seed, lognormal_unit_mean
+from repro.circuit.sweep import (
+    ExecutionPolicy,
+    SweepPlan,
+    ensure_seed,
+    lognormal_unit_mean,
+)
 from repro.physics.constants import CNT_QUANTUM_RESISTANCE_OHM
 
 __all__ = [
@@ -291,6 +296,7 @@ class CNFETArrayModel:
         seed: int | None = None,
         chunk_size: int | None = None,
         workers: int | None = None,
+        policy: ExecutionPolicy | None = None,
     ) -> ArrayResult:
         """Synthesize an array the size of the Park et al. dataset.
 
@@ -308,6 +314,7 @@ class CNFETArrayModel:
                 seed=ensure_seed(seed),
                 chunk_size=chunk_size,
                 workers=workers,
+                policy=policy,
             )
         )
         return ArrayResult(

@@ -13,7 +13,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.circuit.sweep import SweepPlan, ensure_seed
+from repro.circuit.sweep import ExecutionPolicy, SweepPlan, ensure_seed
 from repro.integration.yields import GateYieldModel
 from repro.logic.gates import LogicNetlist, build_ripple_subtractor
 from repro.logic.subneg import SubnegMachine, counting_program, sort_with_machine
@@ -119,6 +119,7 @@ def functional_yield(
     seed: int | None = 1234,
     chunk_size: int | None = None,
     workers: int | None = None,
+    policy: ExecutionPolicy | None = None,
 ) -> FunctionalYieldResult:
     """Fraction of fabricated machines that pass counting AND sorting.
 
@@ -144,6 +145,7 @@ def functional_yield(
         seed=ensure_seed(seed),
         chunk_size=chunk_size,
         workers=workers,
+        policy=policy,
     )
     return FunctionalYieldResult(
         n_trials=n_trials,

@@ -197,6 +197,13 @@ class TestFETVariation:
 
 
 class TestCircuitMonteCarlo:
+    def test_zero_instances_returns_wellformed_empty(self, engine):
+        result = engine.run(FETVariation.nominal(0, len(engine.fet_names)))
+        assert result.n_instances == 0
+        assert result.x.shape == (0, engine.plan.size)
+        assert result.converged.shape == (0,)
+        assert result.converged.dtype == bool
+
     def test_nominal_variation_reproduces_scalar_solve(self, engine):
         result = engine.run(n_instances=3)
         assert result.converged.all()

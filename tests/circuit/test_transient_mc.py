@@ -66,6 +66,19 @@ def reference(engine, variation):
     return engine.run(variation, T_STOP, DT)
 
 
+class TestEmptyWork:
+    def test_zero_instances_returns_wellformed_empty(self, engine):
+        result = engine.run(FETVariation.nominal(0, len(engine.fet_names)), T_STOP, DT)
+        assert result.n_instances == 0
+        # The empty result keeps the run's real sample grid so shape-
+        # dependent consumers (time axis, concatenation) still work.
+        assert result.n_samples == int(round(T_STOP / DT)) + 1
+        assert result.samples.shape[0] == 0
+        assert result.converged.shape == (0,)
+        assert result.fallback.shape == (0,)
+        assert result.time_s.shape == (result.n_samples,)
+
+
 class TestScalarEquivalence:
     """Waveforms match the per-instance scalar transient() loop."""
 

@@ -295,6 +295,54 @@ class TestCache:
         assert compile_surrogate(surrogate) is surrogate
 
 
+def _hammer_compile(cache_dir):
+    """Pool worker: compile the same device into the same disk cache.
+
+    Module level so ProcessPoolExecutor can pickle it; clears the
+    (possibly fork-inherited) memory cache first so every worker really
+    goes through the disk-cache write path and races the others.
+    """
+    surrogate_module.clear_surrogate_memory()
+    spec = GridSpec(initial_points=(8, 8), max_refinements=1)
+    surrogate = compile_surrogate(AlphaPowerFET(), spec, cache_dir=cache_dir)
+    return surrogate.table
+
+
+class TestConcurrentCacheWriters:
+    """The disk cache under concurrent writers (recovery satellite)."""
+
+    def test_pool_hammer_one_file_no_litter_identical_tables(self):
+        from concurrent.futures import ProcessPoolExecutor
+
+        directory = surrogate_cache_dir()
+        with ProcessPoolExecutor(max_workers=4) as pool:
+            tables = list(pool.map(_hammer_compile, [str(directory)] * 8))
+        for table in tables[1:]:
+            assert np.array_equal(table, tables[0])
+        # Exactly one published cache file, and no temp-file litter
+        # regardless of how the writers interleaved.
+        assert len(list(directory.glob("*.npz"))) == 1
+        assert not list(directory.glob("*.tmp"))
+        surrogate_module.clear_surrogate_memory()
+        spec = GridSpec(initial_points=(8, 8), max_refinements=1)
+        reloaded = compile_surrogate(AlphaPowerFET(), spec, cache_dir=directory)
+        assert np.array_equal(reloaded.table, tables[0])
+
+    def test_interrupted_write_leaves_no_litter(self, monkeypatch):
+        spec = GridSpec(initial_points=(8, 8), max_refinements=1)
+        surrogate = compile_surrogate(AlphaPowerFET(), spec)
+        directory = surrogate_cache_dir()
+
+        def boom(*args, **kwargs):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(surrogate_module.np, "savez", boom)
+        target = directory / "interrupted.npz"
+        surrogate_module._store_cached(target, surrogate, "payload")
+        assert not target.exists()
+        assert not list(directory.glob("*.tmp"))
+
+
 class TestAsymmetricDevices:
     def test_gated_diode_tabulates_both_polarities(self):
         from repro.devices.tfet import CNTTunnelFET

@@ -47,6 +47,93 @@ class TestDispatch:
             assert callable(runner)
 
 
+class TestStructuredFailureExit:
+    def _failing_runner(self):
+        from repro.circuit.resilience import (
+            ChunkRecord,
+            RunReport,
+            SweepExecutionError,
+        )
+
+        report = RunReport(
+            chunks=[
+                ChunkRecord(index=0, n_items=4, status="ok", attempts=1),
+                ChunkRecord(
+                    index=1,
+                    n_items=4,
+                    status="failed",
+                    attempts=3,
+                    failures=("crash", "crash", "crash"),
+                ),
+            ],
+            workers=2,
+            pool_rebuilds=3,
+            wall_s=1.0,
+        )
+        raise SweepExecutionError("supervised sweep failed", report, {0: [1, 2, 3, 4]})
+
+    def test_sweep_failure_exits_2_with_one_line_and_report(
+        self, capsys, monkeypatch, tmp_path
+    ):
+        import json
+        import repro.cli as cli
+
+        monkeypatch.setitem(
+            cli.EXPERIMENTS, "fabric", ("desc", lambda: self._failing_runner())
+        )
+        monkeypatch.chdir(tmp_path)
+        assert main(["fabric"]) == 2
+        captured = capsys.readouterr()
+        assert captured.out == ""  # no half-printed artefact rows
+        assert captured.err.count("\n") == 1
+        assert "repro fabric: FAILED" in captured.err
+        assert "crash=3" in captured.err
+        # The salvaged RunReport is persisted for post-mortem/resume.
+        payload = json.loads((tmp_path / "run-report.json").read_text())
+        assert payload["counts"] == {"ok": 1, "failed": 1}
+        assert payload["failure_taxonomy"] == {"crash": 3}
+
+    def test_generic_failure_exits_1_with_one_line(self, capsys, monkeypatch):
+        import repro.cli as cli
+
+        def boom():
+            raise RuntimeError("kernel exploded")
+
+        monkeypatch.setitem(cli.EXPERIMENTS, "fabric", ("desc", boom))
+        assert main(["fabric"]) == 1
+        err = capsys.readouterr().err
+        assert err.count("\n") == 1
+        assert "repro fabric: FAILED — RuntimeError: kernel exploded" in err
+
+
+class TestResumeFlag:
+    def test_resume_rejects_unsupported_experiments(self, tmp_path):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["fig1", "--resume", str(tmp_path)])
+        assert excinfo.value.code != 0
+
+    def test_resume_rejects_physical_combination(self, tmp_path):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["integration", "--physical", "--resume", str(tmp_path)])
+        assert excinfo.value.code != 0
+
+    def test_resumable_registry_is_a_subset(self):
+        from repro.cli import RESUMABLE_EXPERIMENTS
+
+        assert set(RESUMABLE_EXPERIMENTS) <= set(EXPERIMENTS)
+        assert {"fabric", "integration"} <= set(RESUMABLE_EXPERIMENTS)
+
+    def test_resume_runs_supervised_and_checkpoints(self, capsys, tmp_path):
+        assert main(["fabric", "--resume", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "fabric" in out
+        # The supervised run left chunk checkpoints under the dir.
+        assert list(tmp_path.glob("*/chunk-*.pkl"))
+        # A second invocation resumes from them and prints the same rows.
+        assert main(["fabric", "--resume", str(tmp_path)]) == 0
+        assert capsys.readouterr().out == out
+
+
 class TestPhysicalStack:
     def test_physical_registry_is_a_subset(self):
         from repro.cli import PHYSICAL_EXPERIMENTS
