@@ -1,0 +1,164 @@
+"""Persist the per-PR perf trajectory: ``python benchmarks/perf_trajectory.py``.
+
+Times the repo's headline workloads (the same cases the pytest
+benchmarks in this directory gate on) with ``perf_counter`` and writes
+``BENCH_<pr>.json`` at the repo root, so re-anchors can see the curve
+across PRs instead of a single point.  Timings are machine-dependent —
+the artifact records the shape of the trajectory, not absolute truth.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf_trajectory.py [--pr N] [--repeat K]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+from pathlib import Path
+from time import perf_counter
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+# Mirrors benchmarks/test_sweep_bench.py so numbers stay comparable.
+SEED = 20140314
+CHAIN_STAGES = 5
+N_INSTANCES = 1000
+N_ARRAY_DEVICES = 10000
+N_TRANSIENT = 256
+T_STOP = 0.2e-9
+DT = 1e-11
+
+
+def _timed(fn, repeat: int) -> float:
+    """Best-of-``repeat`` wall time in seconds (first call may warm caches)."""
+    best = float("inf")
+    for _ in range(repeat):
+        start = perf_counter()
+        fn()
+        best = min(best, perf_counter() - start)
+    return best
+
+
+def bench_chain_mc(repeat: int) -> dict:
+    from repro.circuit.sweep import CircuitMonteCarlo, FETVariation
+    from repro.circuit.waveforms import DC
+    from repro.devices.empirical import AlphaPowerFET
+    from repro.experiments.cascade import build_inverter_chain
+
+    chain = build_inverter_chain(
+        AlphaPowerFET(), n_stages=CHAIN_STAGES, input_waveform=DC(0.0)
+    )
+    engine = CircuitMonteCarlo(chain)
+    variation = FETVariation.sample(
+        N_INSTANCES,
+        len(engine.fet_names),
+        seed=SEED,
+        drive_sigma=0.15,
+        vth_sigma_v=0.01,
+    )
+    seconds = _timed(lambda: engine.run(variation), repeat)
+    return {
+        "case": "dc_mc_chain_batched",
+        "detail": f"{N_INSTANCES}-instance DC MC, {CHAIN_STAGES}-stage chain",
+        "seconds": seconds,
+    }
+
+
+def bench_array_sampling(repeat: int) -> dict:
+    from repro.integration.variability import CNFETArrayModel
+
+    model = CNFETArrayModel()
+    seconds = _timed(
+        lambda: model.sample_array(n_devices=N_ARRAY_DEVICES, seed=SEED), repeat
+    )
+    return {
+        "case": "cnfet_array_vectorized",
+        "detail": f"{N_ARRAY_DEVICES}-device array, substream blocks",
+        "seconds": seconds,
+    }
+
+
+def bench_transient_mc(repeat: int) -> dict:
+    from repro.circuit.sweep import CircuitTransientMC, FETVariation
+    from repro.circuit.waveforms import Pulse
+    from repro.devices.empirical import AlphaPowerFET
+    from repro.experiments.cascade import build_inverter_chain
+
+    stimulus = Pulse(
+        v1=0.0, v2=1.0, delay_s=0.02e-9, rise_s=10e-12, fall_s=10e-12,
+        width_s=0.09e-9, period_s=0.0,
+    )
+    chain = build_inverter_chain(
+        AlphaPowerFET(), n_stages=CHAIN_STAGES, input_waveform=stimulus
+    )
+    engine = CircuitTransientMC(chain)
+    variation = FETVariation.sample(
+        N_TRANSIENT,
+        len(engine.fet_names),
+        seed=SEED,
+        drive_sigma=0.15,
+        vth_sigma_v=0.01,
+    )
+    seconds = _timed(lambda: engine.run(variation, T_STOP, DT), repeat)
+    return {
+        "case": "transient_mc_batched",
+        "detail": f"{N_TRANSIENT}-instance transient MC, 20-step window",
+        "seconds": seconds,
+    }
+
+
+def bench_contract_lint(repeat: int) -> dict:
+    from repro.lint import run_lint
+
+    result = run_lint()
+    if not result.ok:  # the artifact must not paper over a dirty tree
+        raise SystemExit("repro lint found violations; fix them first")
+    seconds = _timed(run_lint, repeat)
+    return {
+        "case": "contract_lint_full_repo",
+        "detail": f"repro.lint over {result.n_files} files + device registry",
+        "seconds": seconds,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--pr", type=int, default=7, help="PR number for the artifact name")
+    parser.add_argument("--repeat", type=int, default=3, help="best-of repetitions")
+    args = parser.parse_args(argv)
+
+    results = [
+        bench(args.repeat)
+        for bench in (
+            bench_chain_mc,
+            bench_array_sampling,
+            bench_transient_mc,
+            bench_contract_lint,
+        )
+    ]
+    payload = {
+        "pr": args.pr,
+        "seed": SEED,
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "machine": platform.machine(),
+        "results": results,
+    }
+
+    from repro.circuit.resilience import atomic_write_text
+
+    target = REPO_ROOT / f"BENCH_{args.pr}.json"
+    atomic_write_text(target, json.dumps(payload, indent=1) + "\n")
+    for row in results:
+        print(f"{row['case']:28s} {row['seconds'] * 1e3:10.2f} ms  ({row['detail']})")
+    print(f"wrote {target}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -16,7 +16,6 @@ from repro.analysis.iv import ion_at_fixed_ioff
 from repro.benchmarking.datasets import (
     FIG5_REFERENCE,
     IOFF_TARGET_A_PER_UM,
-    BenchmarkPoint,
     TechnologySeries,
     VDS_BENCHMARK_V,
 )

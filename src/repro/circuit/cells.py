@@ -14,7 +14,7 @@ import numpy as np
 
 from repro.circuit.dc import dc_sweep
 from repro.circuit.netlist import Circuit
-from repro.circuit.transient import TransientResult, transient
+from repro.circuit.transient import TransientResult
 from repro.circuit.waveforms import DC, Pulse
 from repro.devices.base import FETModel, PType
 

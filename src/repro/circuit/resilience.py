@@ -73,6 +73,7 @@ __all__ = [
     "SweepExecutionError",
     "run_supervised",
     "fingerprint",
+    "atomic_write_text",
 ]
 
 _LOG = logging.getLogger(__name__)
@@ -263,6 +264,30 @@ class CheckpointStore:
                 raise
         except OSError:
             _LOG.warning("checkpoint write failed for chunk %d at %s", index, path)
+
+
+def atomic_write_text(path: Path | str, text: str) -> None:
+    """Crash-safe text write: mkstemp in the target directory + ``os.replace``.
+
+    Readers never observe a half-written file — they see either the old
+    content or the new, the same discipline the checkpoint store and the
+    surrogate cache follow for binary payloads.
+    """
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=target.parent, prefix=f".{target.stem}-", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        os.replace(tmp_name, target)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
 
 
 # ---------------------------------------------------------------------------

@@ -7,6 +7,7 @@ Usage::
     python -m repro --list        # what's available
     python -m repro all           # everything (minutes)
     python -m repro cascade --physical   # physical CNT-FET device stack
+    python -m repro lint          # contract linter (see repro.lint)
 
 Each experiment prints the same (label, value) rows its benchmark
 prints, so shell users and EXPERIMENTS.md readers see identical numbers.
@@ -235,10 +236,11 @@ def _persist_report(report, resume_dir: str | None) -> str:
     """Write the salvaged RunReport next to the checkpoints (or in cwd)."""
     from pathlib import Path
 
+    from repro.circuit.resilience import atomic_write_text
+
     target = Path(resume_dir) if resume_dir is not None else Path(".")
-    target.mkdir(parents=True, exist_ok=True)
     path = target / "run-report.json"
-    path.write_text(report.to_json())
+    atomic_write_text(path, report.to_json())
     return str(path)
 
 
@@ -254,6 +256,12 @@ def _print_rows(title: str, rows: list[tuple]) -> None:
 
 
 def main(argv: list[str] | None = None) -> int:
+    arguments = list(sys.argv[1:] if argv is None else argv)
+    if arguments and arguments[0] == "lint":
+        # Static-analysis subcommand: delegate to the contract linter.
+        from repro.lint.cli import main as lint_main
+
+        return lint_main(arguments[1:])
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Regenerate artefacts of Kreupl, 'Advancing CMOS with "
@@ -282,7 +290,7 @@ def main(argv: list[str] | None = None) -> int:
         "under DIR; a rerun after a crash skips finished chunks "
         f"(supported: {', '.join(sorted(RESUMABLE_EXPERIMENTS))})",
     )
-    args = parser.parse_args(argv)
+    args = parser.parse_args(arguments)
 
     if args.list or not args.experiments:
         for name, (description, _) in EXPERIMENTS.items():

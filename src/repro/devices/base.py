@@ -265,6 +265,7 @@ class PType(FETModel):
     def current(self, vgs: float, vds: float) -> float:
         return -self.nfet.current(-vgs, -vds)
 
+    # repro-lint: ok[PRT001] -- polarity adapter: point reflection through the origin, then the wrapped n-type model owns the mirror transform
     def currents(self, vgs_values, vds_values) -> np.ndarray:
         return -self.nfet.currents(
             -np.asarray(vgs_values, dtype=float), -np.asarray(vds_values, dtype=float)

@@ -86,6 +86,7 @@ class CNTFabricFET(FETModel):
         )
         return semiconducting + self.metallic_conductance_s * vds
 
+    # repro-lint: ok[PRT001] -- parallel composition: each tube model applies its own mirror transform, the metallic shunt term is linear in vds
     def currents(self, vgs_values, vds_values) -> np.ndarray:
         vgs, vds = np.broadcast_arrays(
             np.asarray(vgs_values, dtype=float), np.asarray(vds_values, dtype=float)
@@ -150,7 +151,12 @@ def sample_fabric(
         raise ValueError(f"width must be positive, got {width_um}")
     if not 0.0 <= semiconducting_purity <= 1.0:
         raise ValueError("purity must be in [0, 1]")
-    rng = rng or np.random.default_rng()
+    if rng is None:
+        raise ValueError(
+            "sample_fabric needs an explicit numpy Generator (e.g. "
+            "np.random.default_rng(seed) or a SeedSequence substream): "
+            "library code never draws OS entropy implicitly"
+        )
     growth = growth or GrowthDistribution()
     n_tubes = max(1, int(round(width_um * 1e3 / pitch_nm)))
     n_metallic = int(rng.binomial(n_tubes, 1.0 - semiconducting_purity))

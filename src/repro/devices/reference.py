@@ -57,8 +57,10 @@ class TrigateFET(FETModel):
     def current(self, vgs: float, vds: float) -> float:
         return self.core.current(vgs, vds)
 
-    def currents(self, vgs_values, vds_values):
-        return self.core.currents(vgs_values, vds_values)
+    def _forward_currents(self, vgs_values, vds_values):
+        # Forward-quadrant delegation to the alpha-power core; the base
+        # ``currents`` applies the shared mirror transform exactly once.
+        return self.core._forward_currents(vgs_values, vds_values)
 
     def current_density_a_per_m(self, vgs: float, vds: float) -> float:
         """Current per effective width [A/m]."""

@@ -223,8 +223,8 @@ class SurrogateFET(_TableFET):
         self._h_ref = float(h_ref)
         self.mirror_symmetric = bool(symmetric)
         self.fit_error = None if fit_error is None else float(fit_error)
-        self.source = source
-        self.token_hash = token_hash
+        self.source = source  # repro-lint: ok[FPR001] -- provenance only; the physics lives in the tabulated grids
+        self.token_hash = token_hash  # repro-lint: ok[FPR001] -- cache bookkeeping, not a physics parameter
         self._build_spline()
 
     def _build_spline(self) -> None:
@@ -250,6 +250,20 @@ class SurrogateFET(_TableFET):
     def h_ref(self) -> float:
         """Scale conductance of the asinh transform [S]."""
         return self._h_ref
+
+    def surrogate_token(self):
+        """Table digests of the base class plus the surrogate's own state.
+
+        ``h_ref`` and the symmetry flag change the reconstructed I-V
+        surface for the same stored table, so they must be part of the
+        fingerprint; ``fit_error``/``source``/``token_hash`` are
+        provenance metadata and deliberately excluded.
+        """
+        return (
+            *super().surrogate_token(),
+            self._h_ref,
+            self.mirror_symmetric,
+        )
 
     # -- evaluation ---------------------------------------------------------
     def _eval_forward(self, vgs: np.ndarray, vds: np.ndarray):
@@ -277,6 +291,7 @@ class SurrogateFET(_TableFET):
         )
         return float(current)
 
+    # repro-lint: ok[PRT001] -- polarity-aware spline evaluation: symmetric tables route through the shared mirror transform below, two-sided tables must not
     def currents(self, vgs_values, vds_values) -> np.ndarray:
         if self.mirror_symmetric:
             return mirror_symmetric_currents(

@@ -76,15 +76,26 @@ class GrowthDistribution:
         return float((gaps[mask] * weight).sum() / weight.sum())
 
     def sample(self, n: int, rng: np.random.Generator | None = None) -> list[Chirality]:
-        """Draw ``n`` tubes from the population."""
+        """Draw ``n`` tubes from the population (``rng`` is required)."""
         if n < 1:
             raise ValueError(f"sample size must be >= 1, got {n}")
-        rng = rng or np.random.default_rng()
+        rng = _require_rng(rng)
         indices = rng.choice(len(self._chiralities), size=n, p=self._weights)
         return [self._chiralities[int(i)] for i in indices]
 
     def sample_diameters_nm(
         self, n: int, rng: np.random.Generator | None = None
     ) -> np.ndarray:
-        """Diameters [nm] of ``n`` sampled tubes."""
+        """Diameters [nm] of ``n`` sampled tubes (``rng`` is required)."""
         return np.array([c.diameter_nm for c in self.sample(n, rng)])
+
+
+def _require_rng(rng: np.random.Generator | None) -> np.random.Generator:
+    """Reject the implicit-entropy path: callers own the seed."""
+    if rng is None:
+        raise ValueError(
+            "pass an explicit numpy Generator (e.g. np.random.default_rng(seed) "
+            "or a SeedSequence substream): library code never draws OS entropy "
+            "implicitly"
+        )
+    return rng

@@ -27,6 +27,17 @@ import numpy as np
 __all__ = ["AlignedGrowth", "TrenchDeposition", "PlacementStatistics"]
 
 
+def _require_rng(rng: np.random.Generator | None) -> np.random.Generator:
+    """Reject the implicit-entropy path: callers own the seed."""
+    if rng is None:
+        raise ValueError(
+            "pass an explicit numpy Generator (e.g. np.random.default_rng(seed) "
+            "or a SeedSequence substream): library code never draws OS entropy "
+            "implicitly"
+        )
+    return rng
+
+
 @dataclass(frozen=True)
 class PlacementStatistics:
     """Per-site outcome probabilities of a placement process."""
@@ -104,10 +115,10 @@ class AlignedGrowth:
     def sample_tube_counts(
         self, device_width_um: float, n_devices: int, rng=None
     ) -> np.ndarray:
-        """Monte-Carlo tube counts for ``n_devices`` sites."""
+        """Monte-Carlo tube counts for ``n_devices`` sites (``rng`` required)."""
         if n_devices < 1:
             raise ValueError("need at least one device")
-        rng = rng or np.random.default_rng()
+        rng = _require_rng(rng)
         return rng.poisson(self.expected_tubes(device_width_um), size=n_devices)
 
 
@@ -144,10 +155,10 @@ class TrenchDeposition:
         )
 
     def sample_tube_counts(self, n_sites: int, rng=None) -> np.ndarray:
-        """Monte-Carlo tube counts for ``n_sites`` trenches."""
+        """Monte-Carlo tube counts for ``n_sites`` trenches (``rng`` required)."""
         if n_sites < 1:
             raise ValueError("need at least one site")
-        rng = rng or np.random.default_rng()
+        rng = _require_rng(rng)
         return rng.poisson(self.mean_tubes_per_site, size=n_sites)
 
     def concentration_for_fill(self, target_fill: float) -> float:

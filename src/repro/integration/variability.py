@@ -218,6 +218,22 @@ def _sample_block(params_block, rng, model: "CNFETArrayModel"):
     return rows
 
 
+def _array_entry_validator(entry) -> bool:
+    """Merge-boundary schema of one device row from :func:`_sample_block`.
+
+    ``(n_tubes, n_metallic, i_on, i_off)`` — finite floats with the
+    count ordering ``n_tubes >= n_metallic >= 0``; rejected rows force a
+    chunk retry instead of poisoning the stacked array.
+    """
+    return (
+        isinstance(entry, np.ndarray)
+        and entry.shape == (4,)
+        and entry.dtype.kind == "f"
+        and bool(np.all(np.isfinite(entry)))
+        and bool(entry[0] >= entry[1] >= 0.0)
+    )
+
+
 class CNFETArrayModel:
     """Synthesizes CNFET arrays tube-by-tube.
 
@@ -307,7 +323,12 @@ class CNFETArrayModel:
         """
         if n_devices < 1:
             raise ValueError("need at least one device")
-        sweep = SweepPlan(_sample_block, vectorized=True, payload=self)
+        sweep = SweepPlan(
+            _sample_block,
+            vectorized=True,
+            payload=self,
+            validate=_array_entry_validator,
+        )
         rows = np.asarray(
             sweep.run(
                 range(n_devices),

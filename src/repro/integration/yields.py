@@ -163,6 +163,15 @@ def _sample_gate_block(params_block, rng, model: GateYieldModel):
     return rows
 
 
+def _gate_entry_validator(entry) -> bool:
+    """Merge-boundary schema of one gate row: ``(shorted, open)`` booleans."""
+    return (
+        isinstance(entry, np.ndarray)
+        and entry.shape == (2,)
+        and entry.dtype == np.bool_
+    )
+
+
 def monte_carlo_gate_yield(
     gate_model: GateYieldModel,
     n_gates: int = 10000,
@@ -179,7 +188,12 @@ def monte_carlo_gate_yield(
     """
     if n_gates < 1:
         raise ValueError("need at least one gate")
-    sweep = SweepPlan(_sample_gate_block, vectorized=True, payload=gate_model)
+    sweep = SweepPlan(
+        _sample_gate_block,
+        vectorized=True,
+        payload=gate_model,
+        validate=_gate_entry_validator,
+    )
     rows = np.asarray(
         sweep.run(
             range(n_gates),

@@ -1,0 +1,117 @@
+"""Inline allowlist markers: ``# repro-lint: ok[RULE, ...] -- reason``.
+
+A marker suppresses matching findings on its own physical line; a
+marker on a comment-only line covers the next non-blank source line
+instead (useful above ``class``/``def`` statements).  The reason text
+after the rule list is mandatory — a suppression without a recorded
+justification is itself a finding (LNT001), and a marker that never
+suppresses anything is reported as stale (LNT002).
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+
+from repro.lint.diagnostics import RULES, Diagnostic
+
+__all__ = ["Marker", "extract_markers"]
+
+_MARKER_RE = re.compile(r"#\s*repro-lint:\s*(.*)$")
+_OK_RE = re.compile(r"ok\[([^\]]*)\]\s*(?:--|:)?\s*(.*)$")
+
+
+@dataclass
+class Marker:
+    """One parsed allowlist marker."""
+
+    file: str
+    line: int  # line the marker text sits on
+    target_line: int  # line whose findings it suppresses
+    rules: tuple[str, ...]
+    reason: str
+    used: bool = field(default=False, compare=False)
+
+    def suppresses(self, diagnostic: Diagnostic) -> bool:
+        return (
+            diagnostic.line == self.target_line and diagnostic.rule in self.rules
+        )
+
+
+def extract_markers(
+    path: str, source: str
+) -> tuple[list[Marker], list[Diagnostic]]:
+    """Parse every marker in ``source``; malformed ones become LNT001."""
+    markers: list[Marker] = []
+    malformed: list[Diagnostic] = []
+    lines = source.splitlines()
+    for lineno, text, own_line in _comments(source):
+        match = _MARKER_RE.search(text)
+        if match is None:
+            continue
+        ok = _OK_RE.match(match.group(1).strip())
+        if ok is None:
+            malformed.append(
+                Diagnostic(
+                    path,
+                    lineno,
+                    "LNT001",
+                    "marker must have the form "
+                    "'# repro-lint: ok[RULE] -- reason'",
+                )
+            )
+            continue
+        rules = tuple(r.strip() for r in ok.group(1).split(",") if r.strip())
+        reason = ok.group(2).strip()
+        unknown = [r for r in rules if r not in RULES]
+        if not rules or unknown:
+            what = f"unknown rule id(s): {', '.join(unknown)}" if unknown else (
+                "empty rule list"
+            )
+            malformed.append(Diagnostic(path, lineno, "LNT001", what))
+            continue
+        if not reason:
+            malformed.append(
+                Diagnostic(
+                    path,
+                    lineno,
+                    "LNT001",
+                    f"marker ok[{', '.join(rules)}] is missing its reason "
+                    "('-- why this is safe')",
+                )
+            )
+            continue
+        target = lineno
+        if own_line:
+            # Comment-only line: the marker documents the next source line.
+            target = _next_source_line(lines, lineno)
+        markers.append(Marker(path, lineno, target, rules, reason))
+    return markers, malformed
+
+
+def _comments(source: str):
+    """(line, text, is_own_line) for every real comment token.
+
+    Tokenizing (instead of regex over raw lines) keeps marker examples
+    inside docstrings and string literals from being parsed as markers.
+    """
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, SyntaxError, IndentationError):
+        return
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        lineno, col = token.start
+        own_line = not token.line[:col].strip()
+        yield lineno, token.string, own_line
+
+
+def _next_source_line(lines: list[str], marker_lineno: int) -> int:
+    for offset, text in enumerate(lines[marker_lineno:], start=1):
+        stripped = text.strip()
+        if stripped and not stripped.startswith("#"):
+            return marker_lineno + offset
+    return marker_lineno

@@ -112,6 +112,11 @@ def _functional_trial_block(params_block, rng, payload):
     return outcomes
 
 
+def _trial_entry_validator(entry) -> bool:
+    """Merge-boundary schema of one functional trial: a plain boolean."""
+    return isinstance(entry, (bool, np.bool_))
+
+
 def functional_yield(
     gate_model: GateYieldModel,
     n_trials: int = 200,
@@ -139,6 +144,7 @@ def functional_yield(
         vectorized=True,
         payload=(word_bits, p_fail),
         substream_block=32,
+        validate=_trial_entry_validator,
     )
     outcomes = sweep.run(
         range(n_trials),

@@ -12,7 +12,7 @@ detect) — the datapath of the paper's referenced CNT computer.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from graphlib import TopologicalSorter
 
 __all__ = [

@@ -1,0 +1,29 @@
+"""Seeded fingerprint-completeness violations (FPR001/FPR002)."""
+
+
+class LeakyToken:
+    """Stores ``gain`` but fingerprints only the class name."""
+
+    def __init__(self, gain: float):
+        self.gain = gain  # seeded: FPR001
+
+    def surrogate_token(self):
+        return ("LeakyToken",)
+
+
+class WellTokened:
+    """Clean reference: every stored parameter reaches the token."""
+
+    def __init__(self, scale: float):
+        self.scale = scale
+
+    def surrogate_token(self):
+        return ("WellTokened", self.scale)
+
+
+class ExtendedState(WellTokened):  # seeded: FPR002
+    """Adds ``offset`` but inherits the base fingerprint."""
+
+    def __init__(self, scale: float, offset: float):
+        super().__init__(scale)
+        self.offset = offset

@@ -1,0 +1,12 @@
+"""Seeded atomic-write violations (IOW001): torn-file write patterns."""
+
+from pathlib import Path
+
+
+def torn_open_write(path: Path, payload: str) -> None:
+    with open(path, "w") as handle:  # seeded: IOW001
+        handle.write(payload)
+
+
+def torn_write_text(path: Path, payload: str) -> None:
+    path.write_text(payload)  # seeded: IOW001

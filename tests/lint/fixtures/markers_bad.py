@@ -1,0 +1,18 @@
+"""Marker-protocol fixtures: one working marker, one LNT001, one LNT002."""
+
+import numpy as np
+
+
+def documented_entropy():
+    # repro-lint: ok[RNG001] -- test-bed double of the sanctioned entropy boundary
+    return np.random.default_rng()
+
+
+def undocumented_entropy():
+    # repro-lint: ok[RNG001]
+    return np.random.default_rng()
+
+
+def no_write_here():
+    value = 1  # repro-lint: ok[IOW001] -- stale by construction: nothing here writes
+    return value

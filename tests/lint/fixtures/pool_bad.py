@@ -1,0 +1,20 @@
+"""Seeded pool-kernel and merge-boundary violations (PKN001/PKN002/MRG001)."""
+
+from repro.circuit.sweep import SweepPlan
+
+_TALLY = 0
+
+
+def counting_kernel(params, rng, payload):
+    global _TALLY  # seeded: PKN002
+    _TALLY += 1
+    return [float(p) for p in params]
+
+
+def block_kernel(params_block, rng, payload):
+    return [float(p) for p in params_block]
+
+
+LAMBDA_PLAN = SweepPlan(lambda params, rng, payload: params)  # seeded: PKN001
+COUNTING_PLAN = SweepPlan(counting_kernel)
+UNVALIDATED_PLAN = SweepPlan(block_kernel, vectorized=True)  # seeded: MRG001

@@ -1,0 +1,13 @@
+"""Seeded protocol-coherence violation (PRT003).
+
+A device that disables the source/drain mirror symmetry while keeping
+the default (vds >= 0 only) operating box: the surrogate compiler
+would mirror currents that are not mirror-symmetric.
+"""
+
+
+class AsymmetricDevice:
+    mirror_symmetric = False  # seeded: PRT003
+
+    def current(self, vgs: float, vds: float) -> float:
+        return 1e-6 * vgs * vds

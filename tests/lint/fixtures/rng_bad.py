@@ -1,0 +1,24 @@
+"""Seeded RNG-discipline violations for the linter test-bed.
+
+This module is lint bait: it is parsed, never imported.  Lines tagged
+``# seeded: RULE`` must each raise exactly that rule and nothing else.
+"""
+
+import random  # seeded: RNG003
+import time
+
+import numpy as np
+
+
+def sample_without_seed():
+    rng = np.random.default_rng()  # seeded: RNG001
+    return rng.normal()
+
+
+def fresh_entropy_root():
+    return np.random.SeedSequence()  # seeded: RNG002
+
+
+def timestamped_result():
+    stamp = time.time()  # seeded: RNG004
+    return stamp, random.random()

@@ -1,0 +1,51 @@
+"""Golden JSON snapshot of the full fixture-directory lint run.
+
+Pins the machine-readable diagnostic format (``--json`` consumers parse
+it in CI) *and* the exact rule/line placement over every fixture.
+Regenerate after an intentional rule change with::
+
+    PYTHONPATH=src python -m pytest tests/lint/test_lint_golden.py --update-golden
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.lint import run_lint
+
+FIXTURES = Path(__file__).parent / "fixtures"
+GOLDEN = Path(__file__).parent.parent / "golden" / "lint.json"
+
+
+def _relativized_snapshot() -> dict:
+    sys.path.insert(0, str(FIXTURES))
+    try:
+        result = run_lint(
+            [FIXTURES], registry=True, registry_modules=("registry_bad",)
+        )
+    finally:
+        sys.path.remove(str(FIXTURES))
+    payload = result.to_dict()
+    for section in ("findings", "suppressed"):
+        for entry in payload[section]:
+            entry["file"] = Path(entry["file"]).name
+    return payload
+
+
+def test_fixture_run_matches_golden(request):
+    snapshot = _relativized_snapshot()
+
+    if request.config.getoption("--update-golden", default=False):
+        GOLDEN.parent.mkdir(exist_ok=True)
+        GOLDEN.write_text(json.dumps(snapshot, indent=1) + "\n")
+        pytest.skip(f"rewrote {GOLDEN.name}")
+
+    assert GOLDEN.exists(), (
+        f"missing golden file {GOLDEN}; create it with "
+        "pytest tests/lint/test_lint_golden.py --update-golden"
+    )
+    assert snapshot == json.loads(GOLDEN.read_text())

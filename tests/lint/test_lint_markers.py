@@ -1,0 +1,77 @@
+"""Marker-protocol unit tests on synthetic single-file sources."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.lint import run_lint
+
+
+def lint_source(tmp_path: Path, source: str):
+    target = tmp_path / "sample.py"
+    target.write_text(source, encoding="utf-8")
+    return run_lint([target], registry=False)
+
+
+def test_inline_marker_suppresses_same_line(tmp_path):
+    result = lint_source(
+        tmp_path,
+        "import numpy as np\n"
+        "rng = np.random.default_rng()"
+        "  # repro-lint: ok[RNG001] -- synthetic test source\n",
+    )
+    assert result.ok
+    assert [f.rule for f, _ in result.suppressed] == ["RNG001"]
+
+
+def test_own_line_marker_targets_next_source_line(tmp_path):
+    result = lint_source(
+        tmp_path,
+        "import numpy as np\n"
+        "# repro-lint: ok[RNG001] -- synthetic test source\n"
+        "rng = np.random.default_rng()\n",
+    )
+    assert result.ok
+
+
+def test_marker_without_reason_is_lnt001_and_suppresses_nothing(tmp_path):
+    result = lint_source(
+        tmp_path,
+        "import numpy as np\n"
+        "rng = np.random.default_rng()  # repro-lint: ok[RNG001]\n",
+    )
+    assert sorted(f.rule for f in result.findings) == ["LNT001", "RNG001"]
+
+
+def test_unknown_rule_id_is_lnt001(tmp_path):
+    result = lint_source(
+        tmp_path, "x = 1  # repro-lint: ok[NOPE999] -- not a rule\n"
+    )
+    assert [f.rule for f in result.findings] == ["LNT001"]
+
+
+def test_unused_marker_is_lnt002(tmp_path):
+    result = lint_source(
+        tmp_path, "x = 1  # repro-lint: ok[RNG001] -- nothing random here\n"
+    )
+    assert [f.rule for f in result.findings] == ["LNT002"]
+
+
+def test_registry_only_marker_exempt_without_registry(tmp_path):
+    """A PRT001 marker cannot be proven used when introspection is off."""
+    result = lint_source(
+        tmp_path,
+        "def currents(self, a, b):  # repro-lint: ok[PRT001] -- adapter\n"
+        "    return a\n",
+    )
+    assert result.ok
+
+
+def test_marker_examples_in_docstrings_are_ignored(tmp_path):
+    result = lint_source(
+        tmp_path,
+        '"""Docs showing `# repro-lint: ok[RNG001]` must not parse."""\n'
+        "x = 1\n",
+    )
+    assert result.ok
+    assert not result.suppressed
