@@ -32,6 +32,8 @@ N_ARRAY_DEVICES = 10000
 N_TRANSIENT = 256
 T_STOP = 0.2e-9
 DT = 1e-11
+N_SPARSE = 256
+SPARSE_STAGES = 200
 
 
 def _timed(fn, repeat: int) -> float:
@@ -112,6 +114,36 @@ def bench_transient_mc(repeat: int) -> dict:
     }
 
 
+def bench_sparse_mc(repeat: int) -> dict:
+    from repro.circuit.sweep import CircuitMonteCarlo, FETVariation
+    from repro.circuit.waveforms import DC
+    from repro.devices.empirical import AlphaPowerFET
+    from repro.experiments.cascade import build_inverter_chain
+
+    chain = build_inverter_chain(
+        AlphaPowerFET(), n_stages=SPARSE_STAGES, input_waveform=DC(0.0)
+    )
+    engine = CircuitMonteCarlo(chain)
+    if not engine.plan.use_sparse:
+        raise SystemExit("sparse MC bench circuit fell below SPARSE_THRESHOLD")
+    variation = FETVariation.sample(
+        N_SPARSE,
+        len(engine.fet_names),
+        seed=SEED,
+        drive_sigma=0.15,
+        vth_sigma_v=0.01,
+    )
+    seconds = _timed(lambda: engine.run(variation), repeat)
+    return {
+        "case": "dc_mc_sparse_batched",
+        "detail": (
+            f"{N_SPARSE}-instance DC MC, {SPARSE_STAGES}-stage chain "
+            f"({engine.plan.size} unknowns, sparse)"
+        ),
+        "seconds": seconds,
+    }
+
+
 def bench_contract_lint(repeat: int) -> dict:
     from repro.lint import run_lint
 
@@ -128,7 +160,7 @@ def bench_contract_lint(repeat: int) -> dict:
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--pr", type=int, default=7, help="PR number for the artifact name")
+    parser.add_argument("--pr", type=int, default=8, help="PR number for the artifact name")
     parser.add_argument("--repeat", type=int, default=3, help="best-of repetitions")
     args = parser.parse_args(argv)
 
@@ -138,6 +170,7 @@ def main(argv: list[str] | None = None) -> int:
             bench_chain_mc,
             bench_array_sampling,
             bench_transient_mc,
+            bench_sparse_mc,
             bench_contract_lint,
         )
     ]

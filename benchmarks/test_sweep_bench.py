@@ -18,10 +18,20 @@ equal to the scalar path at 1e-9 (they are in fact bitwise identical),
 bitwise invariant across chunk size / instance order / process pool,
 and >= 5x faster than the loop.
 
+The sparse counterpart: a 256-instance DC Monte Carlo of a 200-stage
+chain (204 unknowns, above ``SPARSE_THRESHOLD``), solved through the
+batched sparse plan — one symbolic analysis, per-instance numeric
+refactorization of the stacked ``(m, nnz)`` CSR data — vs. the scalar
+per-instance loop that used to be the silent fallback for every
+over-threshold plan.  Solutions are asserted equal at 1e-9 and the
+batched path >= 5x faster than the loop.
+
 Reference numbers (container class of the engines' introduction):
 1k-instance chain MC ~250 ms serial loop vs ~11 ms batched (~23x);
 10k-device array ~65 ms loop vs ~6 ms vectorised (~11x); 256-instance
-20-step transient MC ~15.6 s scalar loop vs ~0.24 s batched (~65x).
+20-step transient MC ~15.6 s scalar loop vs ~0.24 s batched (~65x);
+256-instance sparse 200-stage MC ~21 s scalar loop vs batched well
+above the 5x bar.
 """
 
 import time
@@ -198,6 +208,89 @@ def test_transient_mc_bitwise_invariance(transient_engine, transient_variation):
         transient_variation, T_STOP, DT, chunk_size=64, workers=2
     )
     assert np.array_equal(pooled.samples, reference.samples)
+
+
+# Sparse batched MC case: a chain deep enough that its plan crosses
+# SPARSE_THRESHOLD (200 stages -> 204 unknowns), per the acceptance bar
+# of the sparse-batching PR.
+N_SPARSE = 256
+SPARSE_STAGES = 200
+
+
+@pytest.fixture(scope="module")
+def sparse_engine():
+    chain = build_inverter_chain(
+        AlphaPowerFET(), n_stages=SPARSE_STAGES, input_waveform=DC(0.0)
+    )
+    engine = CircuitMonteCarlo(chain)
+    assert engine.plan.use_sparse
+    return engine
+
+
+@pytest.fixture(scope="module")
+def sparse_variation(sparse_engine):
+    return FETVariation.sample(
+        N_SPARSE,
+        len(sparse_engine.fet_names),
+        seed=SEED,
+        drive_sigma=0.15,
+        vth_sigma_v=0.01,
+    )
+
+
+# The scalar loop runs 256 robust DC solves (~20 s): measure once and
+# share between the loop and batched benchmark tests.
+_sparse_loop_cache: dict = {}
+
+
+def _scalar_sparse_loop(engine, variation):
+    cached = _sparse_loop_cache.get("loop")
+    if cached is None:
+        start = time.perf_counter()
+        result = engine.scalar_reference(variation)
+        cached = (time.perf_counter() - start, result)
+        _sparse_loop_cache["loop"] = cached
+    return cached
+
+
+def test_sparse_mc_per_instance_loop(benchmark, sparse_engine, sparse_variation):
+    """Baseline: the old fallback — one scalar sparse solve per instance."""
+    result = benchmark.pedantic(
+        lambda: _scalar_sparse_loop(sparse_engine, sparse_variation)[1],
+        rounds=1,
+        iterations=1,
+    )
+    print_rows(
+        f"{N_SPARSE}-instance {SPARSE_STAGES}-stage MC — per-instance loop",
+        [("one run [ms]",
+          _scalar_sparse_loop(sparse_engine, sparse_variation)[0] * 1e3)],
+    )
+    assert result.converged.all()
+
+
+def test_sparse_mc_batched(benchmark, sparse_engine, sparse_variation):
+    """Batched sparse Newton: >= 5x over the loop, solutions equal at 1e-9."""
+    result = benchmark.pedantic(
+        sparse_engine.run, args=(sparse_variation,), rounds=1, iterations=1
+    )
+    assert result.converged.all()
+    # One symbolic analysis served every numeric refactorization.
+    assert sparse_engine.plan.sparse_schedule.n_symbolic == 1
+
+    loop_time, loop_result = _scalar_sparse_loop(sparse_engine, sparse_variation)
+    batched_time = benchmark.stats.stats.mean
+    speedup = loop_time / batched_time
+    print_rows(
+        f"{N_SPARSE}-instance {SPARSE_STAGES}-stage MC — batched sparse",
+        [("one run [ms]", batched_time * 1e3),
+         ("loop run [ms]", loop_time * 1e3),
+         ("speedup", speedup),
+         ("max |batched - loop|", float(np.abs(result.x - loop_result.x).max()))],
+    )
+    # Acceptance bar: solutions equal to the scalar path at 1e-9 and a
+    # >= 5x speedup over the per-instance loop.
+    assert np.abs(result.x - loop_result.x).max() < 1e-9
+    assert speedup >= 5.0
 
 
 def test_sample_array_device_loop(benchmark):

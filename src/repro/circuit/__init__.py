@@ -22,7 +22,9 @@ through batched :meth:`repro.devices.base.FETModel.linearize` calls (one
 per device-model instance) and scattered with precomputed index arrays.
 Systems below :data:`~repro.circuit.assembly.SPARSE_THRESHOLD` (128)
 unknowns reuse preallocated dense buffers; larger systems assemble
-``scipy.sparse`` CSR Jacobians solved by sparse LU.  The original
+``scipy.sparse`` CSR Jacobians on one canonical sparsity pattern whose
+symbolic LU ordering is analyzed once and reused by every numeric
+refactorization.  The original
 element-walking evaluator survives as ``MNASystem.evaluate_dense`` — the
 reference the equivalence test suite holds the compiled path to (1e-12)
 and the fallback for user-defined element types.
@@ -32,8 +34,11 @@ Many-instance work goes through the batched sweep engine
 sweep-shaped computation over deterministic seed substreams (optionally
 on a process pool); :class:`CircuitMonteCarlo` solves N
 parameter-perturbed DC copies of one compiled circuit with stacked
-Jacobians, one batched ``linearize`` call per device group, and a
-batched LAPACK Newton step; and :class:`CircuitTransientMC` extends
+Jacobians — dense ``(m, size, size)`` stacks through one batched
+LAPACK Newton step, sparse plans as ``(m, nnz)`` CSR data stacks
+factorized per instance against the plan's shared symbolic ordering —
+with one batched ``linearize`` call per device group either way; and
+:class:`CircuitTransientMC` extends
 the same batched Newton through time-stepping — N instances marched in
 lockstep over one shared ``(dt, integrator)`` grid, with per-instance
 scalar fallback for instances that fail a step — the substrate for the

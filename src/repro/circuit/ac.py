@@ -46,14 +46,25 @@ class ACResult:
         return np.degrees(np.angle(self.transfer(node)))
 
     def unity_gain_frequency_hz(self, node: str) -> float:
-        """First frequency where |H| falls to 1 (interpolated on log f)."""
+        """First frequency where |H| falls to 1 (interpolated on log f).
+
+        Only genuine falling edges count: a sweep that *starts* below
+        unity (e.g. a band-pass response) contributes no crossing at
+        its first point, and a response that is still above unity at
+        the last point does not wrap around to fabricate one.
+        """
         magnitude = np.abs(self.transfer(node))
         above = magnitude >= 1.0
-        if not above.any() or above.all():
+        # A falling edge at i: above at i-1, below at i (no wrap — the
+        # old np.roll formulation mapped above[-1] into position 0 and
+        # masked real crossings whenever the sweep started below unity
+        # while ending above).
+        falling = above[:-1] & ~above[1:]
+        if not falling.any():
+            if not above.any():
+                raise CircuitError("response never reaches unity in the swept range")
             raise CircuitError("response never crosses unity in the swept range")
-        idx = int(np.argmax(~above & np.roll(above, 1)))
-        if idx == 0:
-            raise CircuitError("response starts below unity")
+        idx = int(np.argmax(falling)) + 1
         f0, f1 = self.frequencies_hz[idx - 1], self.frequencies_hz[idx]
         m0, m1 = magnitude[idx - 1], magnitude[idx]
         t = (np.log10(m0)) / (np.log10(m0) - np.log10(m1))

@@ -19,8 +19,15 @@ compiles a :class:`StampPlan` once per :meth:`Circuit.build_system`:
   ``(id, gm, gds)`` out), then scattered into the residual/Jacobian with
   ``np.add.at`` through index arrays laid out at compile time.
 * Systems with ``size >= SPARSE_THRESHOLD`` assemble ``scipy.sparse``
-  CSR matrices (solved with a sparse LU in the Newton solver); smaller
-  systems — all the seed circuits — reuse preallocated dense buffers.
+  CSR matrices through a :class:`_SparseSchedule`: one canonical
+  sparsity pattern (linear stamps ∪ FET stamps ∪ full diagonal) shared
+  by every evaluation, with precomputed scatter positions so a
+  Jacobian is just a ``data`` vector.  The schedule computes the
+  fill-reducing column ordering **once** (symbolic analysis) and every
+  Newton step refactorizes only numerically against it — this is also
+  what lets the sweep engines stack N instances' CSR ``data`` arrays
+  as ``(m, nnz)`` and batch sparse Monte Carlo.  Smaller systems — all
+  the seed circuits — reuse preallocated dense buffers.
 
 The compiled path is numerically equivalent to the reference path (same
 stamps, same finite-difference linearization arithmetic); the test suite
@@ -230,14 +237,174 @@ class _LinearSystem:
     ``solve`` holds a lazily-built LU-backed ``solve(rhs)`` callable for
     linear-only circuits, so transient steps and sweep points reuse one
     factorization instead of refactorizing the identical matrix.
+    ``sparse_base`` caches this linear part scattered onto the plan's
+    canonical sparse pattern (see :class:`_SparseSchedule`).
     """
 
-    __slots__ = ("matrix", "cap_geq", "solve")
+    __slots__ = ("matrix", "cap_geq", "solve", "sparse_base")
 
     def __init__(self, matrix, cap_geq):
         self.matrix = matrix
         self.cap_geq = cap_geq
         self.solve = None
+        self.sparse_base = None
+
+
+class _SparseSchedule:
+    """Shared sparse assembly + factorization schedule for one plan.
+
+    The canonical sparsity pattern is the union of the linear stamp
+    entries, the capacitor companion entries, every FET group's
+    Jacobian stamp entries, and the full diagonal (MNA voltage-source
+    branch rows have structural-zero diagonals; carrying the diagonal
+    lets regularization and gmin shunts write in place).  Every
+    Jacobian the plan produces — one bias point or a stack of sweep
+    instances — is then just a ``data`` vector over this one pattern:
+
+    * :meth:`positions` maps stamp (row, col) lists to ``data``
+      offsets at compile time, so assembly is ``np.add.at`` scatters
+      exactly like the dense path.
+    * The symbolic half of sparse LU — the fill-reducing COLAMD
+      column ordering — is computed **once** (:attr:`n_symbolic`
+      counts these); :meth:`factor` then refactorizes numerically by
+      permuting the canonical ``data`` into a pre-gathered CSC layout
+      and factoring with ``permc_spec="NATURAL"``.
+
+    That split is what lets the sweep engines batch sparse plans: one
+    schedule serves every instance's refactorization, and a stacked
+    ``(m, nnz)`` data array *is* the batched Jacobian.
+    """
+
+    def __init__(self, plan):
+        size = plan.size
+        self.size = size
+        diag = np.arange(size, dtype=np.intp)
+        group_rows = [g.rows for g in plan.fet_groups]
+        group_cols = [g.cols for g in plan.fet_groups]
+        rows = np.concatenate(
+            [plan._static_rows, plan._cap_rows, *group_rows, diag]
+        )
+        cols = np.concatenate(
+            [plan._static_cols, plan._cap_cols, *group_cols, diag]
+        )
+        pattern = sparse.coo_matrix(
+            (np.ones(rows.size), (rows, cols)), shape=(size, size)
+        ).tocsr()
+        pattern.sum_duplicates()
+        pattern.sort_indices()
+        self.indices = pattern.indices.copy()
+        self.indptr = pattern.indptr.copy()
+        self.nnz = int(self.indices.size)
+        # Flat row*size+col key per canonical entry, strictly
+        # ascending — the searchsorted target for positions().
+        counts = np.diff(self.indptr)
+        self._canon_flat = (
+            np.repeat(diag, counts) * size + self.indices.astype(np.intp)
+        )
+        self.diag_pos = self.positions(diag, diag)
+        self.node_diag_pos = self.diag_pos[: plan.n_nodes]
+        self.group_pos = [
+            self.positions(g.rows, g.cols) for g in plan.fet_groups
+        ]
+        self._static_pos = self.positions(plan._static_rows, plan._static_cols)
+        self._static_vals = plan._static_vals
+        self._cap_pos = self.positions(plan._cap_rows, plan._cap_cols)
+        self._cap_sign = plan._cap_sign
+        self._cap_which = plan._cap_which
+        # Symbolic state, built lazily by _ensure_symbolic().
+        self.n_symbolic = 0
+        self._perm_c: np.ndarray | None = None
+        self._b_gather: np.ndarray | None = None
+        self._b_indices: np.ndarray | None = None
+        self._b_indptr: np.ndarray | None = None
+
+    def positions(self, rows: np.ndarray, cols: np.ndarray) -> np.ndarray:
+        """Canonical ``data`` offsets of (row, col) stamp entries."""
+        flat = np.asarray(rows, dtype=np.intp) * self.size + cols
+        return np.searchsorted(self._canon_flat, flat).astype(np.intp)
+
+    def linear_data(self, linear: _LinearSystem) -> np.ndarray:
+        """Constant linear part as a canonical-pattern ``data`` vector.
+
+        Cached on the :class:`_LinearSystem` (one per ``(dt,
+        integrator)`` key); callers copy before scattering nonlinear
+        values.
+        """
+        base = linear.sparse_base
+        if base is None:
+            base = np.zeros(self.nnz)
+            np.add.at(base, self._static_pos, self._static_vals)
+            if linear.cap_geq.size:
+                np.add.at(
+                    base,
+                    self._cap_pos,
+                    self._cap_sign * linear.cap_geq[self._cap_which],
+                )
+            linear.sparse_base = base
+        return base
+
+    def matrix(self, data: np.ndarray) -> sparse.csr_matrix:
+        """Wrap one canonical ``data`` vector as a CSR matrix (no copy)."""
+        return sparse.csr_matrix(
+            (data, self.indices, self.indptr), shape=(self.size, self.size)
+        )
+
+    def _ensure_symbolic(self) -> None:
+        if self._perm_c is not None:
+            return
+        # Fill-reducing ordering from one splu of a diagonally-dominant
+        # placeholder on the canonical pattern (ones everywhere, the
+        # diagonal lifted above any row sum so factorization cannot
+        # fail).  The ordering depends only on the pattern, so every
+        # numeric refactorization reuses it.
+        data = np.ones(self.nnz)
+        data[self.diag_pos] += float(self.size)
+        lu = splu(self.matrix(data).tocsc())
+        self._perm_c = lu.perm_c.astype(np.intp)
+        # Pre-gathered CSC layout of B = A[:, perm_c]: b_gather maps
+        # canonical CSR data positions into B's CSC data order, so a
+        # refactorization is one fancy-index plus a NATURAL-order splu.
+        acsc = sparse.csr_matrix(
+            (np.arange(self.nnz, dtype=np.intp), self.indices, self.indptr),
+            shape=(self.size, self.size),
+        ).tocsc()
+        starts, ends = acsc.indptr[:-1], acsc.indptr[1:]
+        order = np.concatenate(
+            [np.arange(starts[c], ends[c]) for c in self._perm_c]
+        )
+        self._b_gather = acsc.data[order]
+        self._b_indices = acsc.indices[order]
+        lengths = (ends - starts)[self._perm_c]
+        self._b_indptr = np.concatenate(
+            ([0], np.cumsum(lengths))
+        ).astype(acsc.indptr.dtype)
+        self.n_symbolic += 1
+
+    def factor(self, data: np.ndarray):
+        """Numeric refactorization of one canonical ``data`` vector.
+
+        Returns a ``solve(rhs)`` callable for the *unpermuted* system
+        (``A x = rhs``), or None when the matrix is numerically
+        singular.
+        """
+        self._ensure_symbolic()
+        permuted = sparse.csc_matrix(
+            (data[self._b_gather], self._b_indices, self._b_indptr),
+            shape=(self.size, self.size),
+        )
+        try:
+            lu = splu(permuted, permc_spec="NATURAL")
+        except RuntimeError:
+            return None
+        perm_c = self._perm_c
+
+        def solve(rhs: np.ndarray) -> np.ndarray:
+            y = lu.solve(rhs)
+            x = np.empty_like(y)
+            x[perm_c] = y
+            return x
+
+        return solve
 
 
 class StampPlan:
@@ -374,23 +541,9 @@ class StampPlan:
             self._jac_flat = self._jac.ravel()
         self._lin_cache: dict[object, _LinearSystem] = {}
 
-        if self.use_sparse:
-            # Concatenated nonlinear COO pattern across all groups.
-            if self.fet_groups:
-                self._nl_rows = np.concatenate([g.rows for g in self.fet_groups])
-                self._nl_cols = np.concatenate([g.cols for g in self.fet_groups])
-            else:
-                self._nl_rows = np.zeros(0, dtype=np.intp)
-                self._nl_cols = np.zeros(0, dtype=np.intp)
-            self._nl_vals = np.zeros(self._nl_rows.size)
-            offsets = np.cumsum([0] + [g.rows.size for g in self.fet_groups])
-            self._nl_slices = [
-                slice(offsets[i], offsets[i + 1])
-                for i in range(len(self.fet_groups))
-            ]
-            node_diag = np.zeros(size)
-            node_diag[: self.n_nodes] = 1.0
-            self._node_eye = sparse.diags(node_diag, format="csr")
+        # Shared canonical pattern + one-time symbolic ordering for
+        # every sparse Jacobian this plan (or a sweep over it) builds.
+        self.sparse_schedule = _SparseSchedule(self) if self.use_sparse else None
 
     # -- linear subsystem cache ---------------------------------------------------
     def _linear_system(self, dt_s: float | None, integrator: str) -> _LinearSystem:
@@ -445,14 +598,13 @@ class StampPlan:
         linear = self._linear_system(dt_s, integrator)
         if linear.solve is None:
             if self.use_sparse:
-                regularized = (
-                    linear.matrix
-                    + DIAG_REGULARIZATION * sparse.identity(self.size, format="csr")
-                )
-                try:
-                    linear.solve = splu(regularized.tocsc()).solve
-                except RuntimeError:
+                schedule = self.sparse_schedule
+                data = schedule.linear_data(linear).copy()
+                data[schedule.diag_pos] += DIAG_REGULARIZATION
+                solve = schedule.factor(data)
+                if solve is None:
                     return None
+                linear.solve = solve
             else:
                 matrix = linear.matrix.copy()
                 diagonal = np.einsum("ii->i", matrix)
@@ -515,9 +667,15 @@ class StampPlan:
             np.add.at(rpad, self.cap_scatter, cap_vals)
 
         if self.use_sparse:
-            jacobian = self._evaluate_fets_sparse(xpad, rpad, linear)
+            schedule = self.sparse_schedule
+            data = schedule.linear_data(linear).copy()
+            for group, pos in zip(self.fet_groups, schedule.group_pos):
+                current, gm, gds = group.linearize(xpad)
+                np.add.at(rpad, group.scatter_idx, group.residual_values(current))
+                np.add.at(data, pos, group.jacobian_values(gm, gds))
             if gmin > 0.0:
-                jacobian = jacobian + gmin * self._node_eye
+                data[schedule.node_diag_pos] += gmin
+            jacobian = schedule.matrix(data)
         else:
             jacobian = self._jac
             np.copyto(jacobian, linear.matrix)
@@ -643,19 +801,24 @@ class StampPlan:
             diag[:, :n_nodes] += gmin
         return residual, jac
 
-    def _evaluate_fets_sparse(self, xpad, rpad, linear):
-        nl_vals = self._nl_vals
-        for group, chunk in zip(self.fet_groups, self._nl_slices):
-            current, gm, gds = group.linearize(xpad)
-            np.add.at(rpad, group.scatter_idx, group.residual_values(current))
-            nl_vals[chunk] = group.jacobian_values(gm, gds)
-        if nl_vals.size:
-            nonlinear = sparse.coo_matrix(
-                (nl_vals, (self._nl_rows, self._nl_cols)),
-                shape=(self.size, self.size),
-            ).tocsr()
-            return linear.matrix + nonlinear
-        return linear.matrix.copy()
+    def sparse_newton_step(
+        self, jacobian: sparse.csr_matrix, residual: np.ndarray
+    ) -> np.ndarray | None:
+        """Newton step ``J^-1 (-residual)`` for a canonical-pattern CSR
+        Jacobian (as returned by :meth:`evaluate` in sparse mode).
+
+        Numeric-only refactorization against the schedule's one-time
+        symbolic ordering, with the solver's diagonal regularization
+        applied to a copy of the data.  Returns None when the matrix
+        is singular or the solve is non-finite.
+        """
+        data = jacobian.data.copy()
+        data[self.sparse_schedule.diag_pos] += DIAG_REGULARIZATION
+        solve = self.sparse_schedule.factor(data)
+        if solve is None:
+            return None
+        step = solve(-residual)
+        return step if np.all(np.isfinite(step)) else None
 
     # -- transient support ----------------------------------------------------------
     def cap_state_array(self, state: dict | None) -> np.ndarray:

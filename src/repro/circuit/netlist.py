@@ -8,8 +8,11 @@ assembled system through :meth:`Circuit.build_system`.
 
 :meth:`MNASystem.evaluate` runs on the compiled stamp plan of
 :mod:`repro.circuit.assembly` (constant linear matrix assembled once,
-batched FET linearization, ``np.add.at`` scatter, sparse CSR above
-:data:`~repro.circuit.assembly.SPARSE_THRESHOLD` unknowns).  The original
+batched FET linearization, ``np.add.at`` scatter; above
+:data:`~repro.circuit.assembly.SPARSE_THRESHOLD` unknowns, CSR
+Jacobians on one canonical sparsity pattern whose symbolic LU ordering
+is computed once and shared by every Newton refactorization — scalar
+solves and the batched sweep engines alike).  The original
 element-walking evaluator is retained as :meth:`MNASystem.evaluate_dense`
 — the reference implementation the equivalence tests compare against,
 and the fallback for circuits containing element types the plan cannot
@@ -152,10 +155,12 @@ class MNASystem:
         Accepts the keyword arguments of :meth:`evaluate_dense`.  On
         instances whose circuit compiled, ``__init__`` rebinds this name
         to :meth:`StampPlan.evaluate` (same signature), whose Jacobian is
-        a dense ndarray for small systems and a ``scipy.sparse`` CSR
-        matrix at or above
-        :data:`~repro.circuit.assembly.SPARSE_THRESHOLD` unknowns; this
-        body only runs for circuits the plan cannot compile.
+        a dense ndarray for small systems and, at or above
+        :data:`~repro.circuit.assembly.SPARSE_THRESHOLD` unknowns, a
+        ``scipy.sparse`` CSR matrix on the plan's canonical sparsity
+        pattern (fixed ``indices``/``indptr``, fresh ``data``) so
+        factorizations can reuse the plan's cached symbolic analysis;
+        this body only runs for circuits the plan cannot compile.
         """
         return self.evaluate_dense(x, **kwargs)
 

@@ -16,7 +16,9 @@ is exhausted.
 Linear algebra adapts to what the compiled stamp plan hands back: small
 systems solve dense with an in-place diagonal regularization (no
 per-iteration ``np.eye`` allocation), large systems arrive as
-``scipy.sparse`` CSR matrices and go through a sparse LU.  Circuits
+``scipy.sparse`` CSR matrices on the plan's canonical pattern and
+refactorize numerically against the plan's one-time symbolic ordering
+(:meth:`~repro.circuit.assembly.StampPlan.sparse_newton_step`).  Circuits
 with no nonlinear devices skip refactorization entirely — the constant
 linear matrix is LU-factorized once per ``(dt, integrator)`` key by the
 stamp plan and every Newton step reuses the cached factors.
@@ -44,16 +46,23 @@ _TRIAL_BATCH = 8
 _MAX_TRIALS = 30
 
 
-def _newton_step(jacobian, residual, reg_identity) -> np.ndarray | None:
+def _newton_step(jacobian, residual, reg_identity, sparse_step=None) -> np.ndarray | None:
     """Solve J step = -residual with a tiny diagonal regularization.
 
     Dense Jacobians get the regularization added to their diagonal in
     place — safe because the evaluation buffer is fully reassembled by
     the next ``evaluate`` call — avoiding the per-iteration ``np.eye``
-    allocation of the original implementation.  Sparse Jacobians go
-    through a sparse LU.  Returns None on a singular matrix.
+    allocation of the original implementation.  Sparse Jacobians from a
+    compiled plan route through ``sparse_step``
+    (:meth:`~repro.circuit.assembly.StampPlan.sparse_newton_step`), so
+    the symbolic ordering is computed once and only the numeric
+    factorization repeats per iteration; plan-less sparse Jacobians
+    fall back to a full per-call splu.  Returns None on a singular
+    matrix.
     """
     if sparse.issparse(jacobian):
+        if sparse_step is not None:
+            return sparse_step(jacobian, residual)
         try:
             return splu((jacobian + reg_identity).tocsc()).solve(-residual)
         except RuntimeError:
@@ -158,6 +167,12 @@ def newton_solve(
     plan_many = (
         plan.evaluate_many if plan is not None and not plan.use_sparse else None
     )
+    # Sparse compiled plans refactorize numerically against the plan's
+    # one-time symbolic ordering instead of rebuilding a full splu
+    # (symbolic + numeric) every iteration.
+    sparse_step = (
+        plan.sparse_newton_step if plan is not None and plan.use_sparse else None
+    )
     dt_s = eval_kwargs.get("dt_s")
     integrator = eval_kwargs.get("integrator", "trapezoidal")
 
@@ -171,7 +186,7 @@ def newton_solve(
         if linear_plan is not None:
             step = linear_plan.linear_step(residual, dt_s, integrator)
         else:
-            step = _newton_step(jacobian, residual, reg_identity)
+            step = _newton_step(jacobian, residual, reg_identity, sparse_step)
         if step is None:
             break
         iterations += 1

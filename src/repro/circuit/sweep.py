@@ -18,12 +18,17 @@ compiled stamp plan already exposes.  Three layers fix that:
 * :class:`CircuitMonteCarlo` — the DC circuit engine.  It compiles a
   circuit's stamp plan **once** and solves N parameter-perturbed
   instances against the shared sparsity structure: stacked residuals
-  ``(m, size)`` and stacked dense Jacobians ``(m, size, size)``, with
-  every FET group's bias points across *all* instances batched into a
-  single ``linearize`` call and the Newton steps taken by one batched
-  LAPACK ``np.linalg.solve``.  Per-instance device-parameter arrays
-  (:class:`FETVariation`: drive-strength scale and threshold shift)
-  thread through the batched path without touching the device models.
+  ``(m, size)`` and stacked Jacobians — dense ``(m, size, size)``
+  below ``assembly.SPARSE_THRESHOLD``, CSR ``data`` stacks ``(m,
+  nnz)`` on the plan's canonical sparse pattern above it — with every
+  FET group's bias points across *all* instances batched into a
+  single ``linearize`` call.  Newton steps come from one batched
+  LAPACK ``np.linalg.solve`` (dense) or per-instance numeric
+  refactorizations against the plan's one-time symbolic ordering
+  (sparse; see :class:`repro.circuit.assembly._SparseSchedule`).
+  Per-instance device-parameter arrays (:class:`FETVariation`:
+  drive-strength scale and threshold shift) thread through the
+  batched path without touching the device models.
 * :class:`CircuitTransientMC` — the transient circuit engine.  It
   marches all N instances through one shared ``(dt, integrator)`` time
   grid in lockstep: capacitor companion state stacked ``(m, n_caps)``,
@@ -49,19 +54,17 @@ equivalence test suite.
 
 Determinism contract: every batched arithmetic step is elementwise per
 instance (batched gemv for the linear residual, per-matrix LAPACK
-``gesv``, elementwise device math, per-row scatters), so results are
+``gesv`` or per-instance sparse LU against one shared symbolic
+ordering, elementwise device math, per-row scatters), so results are
 **bitwise invariant** to chunk size, instance order, and serial vs.
-process-pool execution.
-
-The batched path supports dense plans (``size <
-assembly.SPARSE_THRESHOLD``), which covers every seed circuit; sparse
-plans fall back to solving each instance through the scalar path, with
-a one-time :mod:`logging` warning naming the fallback.
+process-pool execution — for dense and sparse plans alike.  The
+per-instance scalar loop the engines replace survives as
+``scalar_reference`` on both, the reference side of the equivalence
+suites and benchmarks.
 """
 
 from __future__ import annotations
 
-import logging
 import pickle
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
@@ -71,12 +74,10 @@ import numpy as np
 
 from repro.circuit.assembly import (
     DIAG_REGULARIZATION,
-    SPARSE_THRESHOLD,
     UnsupportedElement,
     _unwrap_polarity,
 )
 from repro.circuit.continuation import (
-    ConvergenceError,
     solve_dc_robust,
     structural_seed,
 )
@@ -123,8 +124,6 @@ __all__ = [
     "ensure_seed",
     "lognormal_unit_mean",
 ]
-
-_LOG = logging.getLogger(__name__)
 
 # Instances per spawned random substream.  Randomness is tied to the
 # (instance index // block) position, never to the execution chunking,
@@ -603,25 +602,6 @@ def perturbed_circuit(
     return clone
 
 
-# One-time (per process, per engine class) notice that a sparse plan is
-# being solved per instance instead of through the batched dense path.
-_SPARSE_FALLBACK_WARNED: set[str] = set()
-
-
-def _warn_sparse_fallback(engine: str, size: int) -> None:
-    if engine in _SPARSE_FALLBACK_WARNED:
-        return
-    _SPARSE_FALLBACK_WARNED.add(engine)
-    _LOG.warning(
-        "%s: circuit has %d unknowns (>= SPARSE_THRESHOLD = %d), so the "
-        "batched dense path is disabled; falling back to solving each "
-        "instance through the scalar sparse path",
-        engine,
-        size,
-        SPARSE_THRESHOLD,
-    )
-
-
 # ---------------------------------------------------------------------------
 # Results of the circuit engines.
 # ---------------------------------------------------------------------------
@@ -886,11 +866,17 @@ class _BatchedNewtonEngine:
             raise ValueError("circuit has no FETs to perturb")
         self.fet_names = tuple(f.name for f in self.fets)
         column = {id(f): j for j, f in enumerate(self.fets)}
-        if not plan.use_sparse:
-            self._group_cols = [
-                np.array([column[id(f)] for f in group.elements], dtype=np.intp)
-                for group in plan.fet_groups
-            ]
+        self._group_cols = [
+            np.array([column[id(f)] for f in group.elements], dtype=np.intp)
+            for group in plan.fet_groups
+        ]
+        # Per-group Jacobian scatter targets: flat (row*size + col)
+        # offsets into a dense (size, size) buffer, or canonical
+        # ``data`` positions on the plan's shared sparse pattern.
+        if plan.use_sparse:
+            self._group_scatter = list(plan.sparse_schedule.group_pos)
+        else:
+            self._group_scatter = [group.flat for group in plan.fet_groups]
         self.node_index = {
             node: self.system.node_index(node) for node in circuit.node_names
         }
@@ -917,13 +903,22 @@ class _BatchedNewtonEngine:
 
     # -- batched evaluation -----------------------------------------------------
     def _offsets(self, m: int) -> tuple[np.ndarray, np.ndarray]:
-        """Flat-index row offsets for padded-residual and Jacobian scatters."""
+        """Flat-index row offsets for padded-residual and Jacobian scatters.
+
+        The Jacobian stride is the per-instance storage width: the full
+        ``size * size`` dense buffer, or the canonical pattern's ``nnz``
+        for sparse plans.
+        """
         cached = self._offset_cache.get(m)
         if cached is None:
-            size = self.plan.size
+            plan = self.plan
+            size = plan.size
+            jac_stride = (
+                plan.sparse_schedule.nnz if plan.use_sparse else size * size
+            )
             cached = (
                 np.arange(m, dtype=np.intp)[:, None] * (size + 1),
-                np.arange(m, dtype=np.intp)[:, None] * (size * size),
+                np.arange(m, dtype=np.intp)[:, None] * jac_stride,
             )
             self._offset_cache[m] = cached
         return cached
@@ -935,14 +930,17 @@ class _BatchedNewtonEngine:
         gmin: float = 0.0,
         ctx: _BatchContext = _DC_CONTEXT,
     ) -> tuple[np.ndarray, np.ndarray]:
-        """Stacked residuals (m, size) and Jacobians (m, size, size).
+        """Stacked residuals (m, size) and Jacobians — dense ``(m, size,
+        size)`` buffers, or ``(m, nnz)`` canonical-pattern CSR ``data``
+        stacks for sparse plans.
 
         Mirrors :meth:`repro.circuit.assembly.StampPlan.evaluate` term
         by term (same operation order) over a stack of instances.  The
         linear residual uses a batched gemv (``matmul`` against column
-        vectors) rather than one gemm, so each row is bitwise identical
-        to the scalar path's ``matrix @ x`` — the root of the engines'
-        chunking/order/pool bitwise-invariance contract.
+        vectors; CSR column-wise matvecs for sparse plans) rather than
+        one gemm, so each row is bitwise identical to the scalar path's
+        ``matrix @ x`` — the root of the engines' chunking/order/pool
+        bitwise-invariance contract.
 
         This kernel deliberately parallels
         :meth:`repro.circuit.assembly.StampPlan.evaluate_many` (the
@@ -959,7 +957,13 @@ class _BatchedNewtonEngine:
         linear = plan._linear_system(ctx.dt_s, ctx.integrator)
 
         rpad = np.zeros((m, size + 1))
-        rpad[:, :size] = np.matmul(linear.matrix, x[..., None])[..., 0]
+        if plan.use_sparse:
+            # CSR times a column stack: scipy's matvecs kernel runs the
+            # scalar matvec per column, so each row matches the scalar
+            # path's ``matrix @ x`` bitwise.
+            rpad[:, :size] = (linear.matrix @ x.T).T
+        else:
+            rpad[:, :size] = np.matmul(linear.matrix, x[..., None])[..., 0]
         rflat = rpad.reshape(-1)
         if plan.vsrc_branch.size:
             levels = np.array([el.level(ctx.time_s) for el in plan.vsources])
@@ -979,11 +983,17 @@ class _BatchedNewtonEngine:
             cap_vals = np.concatenate((history, -history), axis=1)
             np.add.at(rflat, row_pad + plan.cap_scatter, cap_vals)
 
-        jac = np.empty((m, size, size))
-        jac[:] = linear.matrix
+        if plan.use_sparse:
+            jac = np.empty((m, plan.sparse_schedule.nnz))
+            jac[:] = plan.sparse_schedule.linear_data(linear)
+        else:
+            jac = np.empty((m, size, size))
+            jac[:] = linear.matrix
         jflat = jac.reshape(-1)
 
-        for group, cols in zip(plan.fet_groups, self._group_cols):
+        for group, cols, scatter in zip(
+            plan.fet_groups, self._group_cols, self._group_scatter
+        ):
             v = xpad[:, group.gather_dgs]  # (m, 3, count)
             vgs = v[:, 1] - v[:, 2]
             vds = v[:, 0] - v[:, 2]
@@ -1009,14 +1019,17 @@ class _BatchedNewtonEngine:
                 (gds, gm, -(gm + gds), -gds, -gm, gm + gds), axis=1
             )  # (m, 6, count), entry order matching group.take
             entries = vals6.reshape(m, 6 * group.count)[:, group.take]
-            np.add.at(jflat, row_jac + group.flat, entries)
+            np.add.at(jflat, row_jac + scatter, entries)
 
         residual = rpad[:, :size]
         if gmin > 0.0:
             n_nodes = plan.n_nodes
             residual[:, :n_nodes] += gmin * x[:, :n_nodes]
-            diag = np.einsum("ijj->ij", jac)
-            diag[:, :n_nodes] += gmin
+            if plan.use_sparse:
+                jac[:, plan.sparse_schedule.node_diag_pos] += gmin
+            else:
+                diag = np.einsum("ijj->ij", jac)
+                diag[:, :n_nodes] += gmin
         return residual, jac
 
     # -- batched Newton ---------------------------------------------------------
@@ -1049,20 +1062,13 @@ class _BatchedNewtonEngine:
         while active.size and iterations < max_iterations:
             iterations += 1
             jac_active = jacobian[active]  # copy — safe to regularize in place
-            diag = np.einsum("ijj->ij", jac_active)
-            diag += DIAG_REGULARIZATION
-            try:
-                # RHS as (k, size, 1) column matrices: the batched-solve
-                # gufunc otherwise misreads a (k, size) stack as one matrix.
-                step = np.linalg.solve(jac_active, -residual[active, :, None])[..., 0]
-            except np.linalg.LinAlgError:
-                step, dead = self._solve_rows(jac_active, -residual[active])
-                if dead.size:
-                    # Singular instances leave the active set unconverged.
-                    active = np.delete(active, dead)
-                    step = np.delete(step, dead, axis=0)
-                    if not active.size:
-                        break
+            step, dead = self._solve_steps(jac_active, -residual[active])
+            if dead.size:
+                # Singular instances leave the active set unconverged.
+                active = np.delete(active, dead)
+                step = np.delete(step, dead, axis=0)
+                if not active.size:
+                    break
             bad = ~np.all(np.isfinite(step), axis=1)
             if bad.any():
                 active = active[~bad]
@@ -1133,6 +1139,42 @@ class _BatchedNewtonEngine:
             )
         x[failed[stage_ok]] = x_fail[stage_ok]
         converged[failed[stage_ok]] = True
+
+    def _solve_steps(
+        self, jac_active: np.ndarray, rhs: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Regularized Newton steps for a stack of per-instance Jacobians.
+
+        Dense: one batched LAPACK solve over the ``(k, size, size)``
+        stack, dropping to a per-row retry only when LAPACK reports a
+        singular member.  Sparse: per-instance numeric refactorization
+        of the ``(k, nnz)`` data stack against the plan's one-time
+        symbolic ordering (:meth:`repro.circuit.assembly.
+        _SparseSchedule.factor`).  ``jac_active`` is a private copy and
+        is regularized in place.  Returns ``(steps, dead)`` with
+        ``dead`` indexing rows whose matrix is numerically singular.
+        """
+        no_dead = np.empty(0, dtype=np.intp)
+        if not self.plan.use_sparse:
+            diag = np.einsum("ijj->ij", jac_active)
+            diag += DIAG_REGULARIZATION
+            try:
+                # RHS as (k, size, 1) column matrices: the batched-solve
+                # gufunc otherwise misreads a (k, size) stack as one matrix.
+                return np.linalg.solve(jac_active, rhs[:, :, None])[..., 0], no_dead
+            except np.linalg.LinAlgError:
+                return self._solve_rows(jac_active, rhs)
+        schedule = self.plan.sparse_schedule
+        jac_active[:, schedule.diag_pos] += DIAG_REGULARIZATION
+        steps = np.zeros_like(rhs)
+        dead: list[int] = []
+        for i in range(jac_active.shape[0]):
+            solve = schedule.factor(jac_active[i])
+            if solve is None:
+                dead.append(i)
+                continue
+            steps[i] = solve(rhs[i])
+        return steps, (no_dead if not dead else np.array(dead, dtype=np.intp))
 
     @staticmethod
     def _solve_rows(jacobians: np.ndarray, rhs: np.ndarray):
@@ -1219,10 +1261,12 @@ class CircuitMonteCarlo(_BatchedNewtonEngine):
     retry ladder, and anything still unconverged is reported as such in
     :class:`MonteCarloResult` rather than raising.
 
-    Sparse plans (``size >= SPARSE_THRESHOLD``) cannot use the batched
-    dense path: :meth:`run` then solves each instance through the
-    scalar continuation ladder on an explicitly perturbed clone of the
-    circuit, with a one-time logging warning naming the fallback.
+    Sparse plans (``size >= SPARSE_THRESHOLD``) batch the same way:
+    every instance shares the plan's canonical sparsity pattern, so the
+    Jacobian stack is a ``(m, nnz)`` CSR ``data`` array and each Newton
+    step refactorizes the active instances numerically against the
+    plan's one-time symbolic ordering.  The per-instance scalar loop
+    survives as :meth:`scalar_reference` for tests and benchmarks.
     """
 
     _ENGINE_NAME = "CircuitMonteCarlo"
@@ -1273,9 +1317,6 @@ class CircuitMonteCarlo(_BatchedNewtonEngine):
                 node_index=self.node_index,
                 branch_index=self.branch_index,
             )
-        if self.plan.use_sparse:
-            _warn_sparse_fallback(self._ENGINE_NAME, self.plan.size)
-            return self._run_sparse(variation)
         x0 = self.nominal_solution()
         if chunk_size is None:
             chunk_size = DEFAULT_CIRCUIT_CHUNK
@@ -1318,8 +1359,16 @@ class CircuitMonteCarlo(_BatchedNewtonEngine):
             branch_index=self.branch_index,
         )
 
-    def _run_sparse(self, variation: FETVariation) -> MonteCarloResult:
-        """Per-instance scalar fallback for plans above the dense threshold."""
+    def scalar_reference(self, variation: FETVariation) -> MonteCarloResult:
+        """The per-instance scalar loop this engine replaces (for tests/benchmarks).
+
+        Solves every instance through the full continuation ladder
+        (:func:`~repro.circuit.continuation.solve_dc_robust`) on an
+        explicitly perturbed clone of the circuit — the reference side
+        of the batched-vs-scalar equivalence suites and the baseline
+        the sparse-MC benchmark measures speedup against.
+        """
+        variation = self._check_variation(variation, None)
         m = variation.n_instances
         x = np.empty((m, self.plan.size))
         converged = np.zeros(m, dtype=bool)
@@ -1447,10 +1496,6 @@ class CircuitTransientMC(_BatchedNewtonEngine):
                 node_index=self.node_index,
                 branch_index=self.branch_index,
             )
-
-        if self.plan.use_sparse:
-            _warn_sparse_fallback(self._ENGINE_NAME, self.plan.size)
-            return self._run_sparse(variation, t_stop_s, dt_s, integrator)
 
         if chunk_size is None:
             chunk_size = DEFAULT_CIRCUIT_CHUNK
@@ -1636,34 +1681,6 @@ class CircuitTransientMC(_BatchedNewtonEngine):
             ).build_system()
             cache[instance] = system
         return system
-
-    def _run_sparse(
-        self,
-        variation: FETVariation,
-        t_stop_s: float,
-        dt_s: float,
-        integrator: str,
-    ) -> TransientMCResult:
-        """Per-instance scalar fallback for plans above the dense threshold."""
-        n_steps = validate_grid(t_stop_s, dt_s, integrator)
-        m = variation.n_instances
-        samples = np.empty((m, n_steps + 1, self.plan.size))
-        converged = np.ones(m, dtype=bool)
-        for i in range(m):
-            system = perturbed_circuit(self.circuit, variation, i).build_system()
-            try:
-                samples[i] = transient_samples(system, t_stop_s, dt_s, integrator)
-            except ConvergenceError:
-                converged[i] = False
-                samples[i] = np.nan
-        return TransientMCResult(
-            samples=samples,
-            dt_s=dt_s,
-            converged=converged,
-            fallback=np.ones(m, dtype=bool),
-            node_index=self.node_index,
-            branch_index=self.branch_index,
-        )
 
     def scalar_reference(
         self,

@@ -9,16 +9,18 @@ from repro.circuit.waveforms import DC
 from repro.devices.empirical import AlphaPowerFET
 
 
-@pytest.fixture
+@pytest.fixture(scope="session")
 def sparse_fet_ladder():
     """Factory for a cheap circuit above ``SPARSE_THRESHOLD``.
 
     One inverting FET feeding a long resistor ladder: crosses the
     sparse-assembly threshold (>= 128 unknowns) while staying trivial
-    to solve, so the sweep engines' per-instance sparse fallbacks can
-    be exercised without expensive deep-chain continuation solves.
-    Both the DC (``test_sweep``) and transient (``test_transient_mc``)
-    fallback tests build from this one shape.
+    to solve, so the sweep engines' sparse batched path can be
+    exercised without expensive deep-chain continuation solves.  Both
+    the DC (``test_sweep``) and transient (``test_transient_mc``)
+    sparse-batching tests build from this one shape.  Stateless
+    factory, hence session scope — module-scoped engine fixtures may
+    depend on it.
     """
 
     def build(input_waveform=None, load_f: float = 0.0, n_sections: int = 130):

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.circuit.ac import ac_analysis
+from repro.circuit.ac import ACResult, ac_analysis
 from repro.circuit.netlist import Circuit, CircuitError
 from repro.circuit.waveforms import DC
 from repro.devices.base import PType
@@ -91,3 +91,49 @@ class TestAmplifier:
         ugf = result.unity_gain_frequency_hz("out")
         # gm/(2 pi C) scale: a few hundred MHz for ~0.5 mS into 1 pF.
         assert 1e7 < ugf < 1e10
+
+
+def synthetic_response(magnitudes):
+    """ACResult with a prescribed |H| on a decade-spaced grid."""
+    magnitudes = np.asarray(magnitudes, dtype=float)
+    frequencies = np.logspace(6, 6 + magnitudes.size - 1, magnitudes.size)
+    return ACResult(
+        frequencies_hz=frequencies,
+        voltages={"out": magnitudes.astype(complex)},
+    )
+
+
+class TestUnityGainEdgeCases:
+    """Falling-edge detection must not wrap around the sweep ends."""
+
+    def test_falling_crossing_interpolates_on_log_axes(self):
+        # 10x above at 1e6 Hz, 10x below at 1e7 Hz: the log-log
+        # interpolated crossing sits at the geometric mean.
+        result = synthetic_response([10.0, 0.1, 0.01])
+        ugf = result.unity_gain_frequency_hz("out")
+        assert ugf == pytest.approx(np.sqrt(1e6 * 1e7), rel=1e-12)
+
+    def test_start_below_end_above_raises(self):
+        # The old np.roll formulation wrapped above[-1] into position 0
+        # and fabricated a crossing at the first sweep point.
+        result = synthetic_response([0.5, 2.0, 4.0, 8.0])
+        with pytest.raises(CircuitError, match="never crosses"):
+            result.unity_gain_frequency_hz("out")
+
+    def test_band_pass_finds_real_falling_edge(self):
+        # Rises through unity, then falls back below: only the falling
+        # edge (between the last two points) counts.  The wrap used to
+        # mask it with a spurious edge at index 0.
+        result = synthetic_response([0.5, 2.0, 2.0, 0.5])
+        ugf = result.unity_gain_frequency_hz("out")
+        assert ugf == pytest.approx(np.sqrt(1e8 * 1e9), rel=1e-12)
+
+    def test_never_reaching_unity_raises(self):
+        result = synthetic_response([0.1, 0.2, 0.3])
+        with pytest.raises(CircuitError, match="never reaches"):
+            result.unity_gain_frequency_hz("out")
+
+    def test_entirely_above_unity_raises(self):
+        result = synthetic_response([5.0, 4.0, 3.0])
+        with pytest.raises(CircuitError, match="never crosses"):
+            result.unity_gain_frequency_hz("out")

@@ -153,6 +153,32 @@ def test_sparse_regime_uses_sparse_jacobian():
     assert np.max(np.abs(residual)) < 1e-9
 
 
+def test_sparse_newton_caches_symbolic_analysis():
+    """One symbolic ordering serves every factorization of a solve."""
+    from scipy.sparse import identity
+    from scipy.sparse.linalg import spsolve
+
+    from repro.circuit.assembly import DIAG_REGULARIZATION
+
+    system = big_ladder().build_system()
+    plan = system._plan
+    assert plan is not None and plan.use_sparse
+    x, converged = newton_solve(system, np.zeros(system.size))
+    assert converged
+    # Many Newton factorizations, exactly one symbolic analysis.
+    assert plan.sparse_schedule.n_symbolic == 1
+
+    # The cached-ordering factorization solves the same linear system
+    # scipy's from-scratch sparse solve does.
+    residual, jacobian = system.evaluate(x + 0.01)
+    residual = residual.copy()
+    step = plan.sparse_newton_step(jacobian, residual)
+    regularized = jacobian + DIAG_REGULARIZATION * identity(system.size)
+    reference = spsolve(regularized.tocsc(), -residual)
+    np.testing.assert_allclose(step, reference, rtol=1e-9, atol=1e-12)
+    assert plan.sparse_schedule.n_symbolic == 1
+
+
 def test_plan_reuses_across_waveform_mutation():
     """dc_sweep-style waveform swaps are picked up by the compiled plan."""
     circuit = inverter()

@@ -285,41 +285,110 @@ class TestCircuitMonteCarlo:
         with pytest.raises(ValueError):
             engine.run()
 
-    def test_sparse_plan_falls_back_per_instance_with_warning(
-        self, caplog, monkeypatch, sparse_fet_ladder
-    ):
+    def test_sparse_plan_batches_silently(self, caplog, sparse_fet_ladder):
         import logging
 
-        import repro.circuit.sweep as sweep_module
         from repro.circuit.solver import solve_dc
         from repro.circuit.sweep import perturbed_circuit
 
-        monkeypatch.setattr(sweep_module, "_SPARSE_FALLBACK_WARNED", set())
         circuit = sparse_fet_ladder()
         engine = CircuitMonteCarlo(circuit)
         assert engine.plan.use_sparse
         variation = FETVariation.sample(2, 1, seed=3, drive_sigma=0.2)
         with caplog.at_level(logging.WARNING, logger="repro.circuit.sweep"):
             result = engine.run(variation)
-        warnings = [
-            r for r in caplog.records if "SPARSE_THRESHOLD" in r.getMessage()
-        ]
-        assert len(warnings) == 1
-        assert "CircuitMonteCarlo" in warnings[0].getMessage()
+        # No per-instance fallback, no warning: sparse plans batch.
+        assert not caplog.records
         assert result.converged.all()
+        # The expensive symbolic analysis ran once for the whole batch.
+        assert engine.plan.sparse_schedule.n_symbolic == 1
+        # The ladder is deliberately high-impedance (RT = 1e6), so the
+        # solver's 1e-10 residual criterion allows ~1e-7 in voltage
+        # between two independently-converged iterates; the tight 1e-9
+        # equivalence contract is asserted on the well-conditioned
+        # sparse inverter chain in TestSparseBatchedNewton.
         for i in range(2):
             reference = solve_dc(
                 perturbed_circuit(circuit, variation, i).build_system()
             )
-            assert np.abs(result.x[i] - reference).max() < 1e-9
+            assert np.abs(result.x[i] - reference).max() < 1e-7
 
-        # One-time: the second run does not warn again.
-        caplog.clear()
-        with caplog.at_level(logging.WARNING, logger="repro.circuit.sweep"):
-            engine.run(variation)
-        assert not [
-            r for r in caplog.records if "SPARSE_THRESHOLD" in r.getMessage()
-        ]
+
+@pytest.fixture(scope="module")
+def sparse_engine(sparse_fet_ladder):
+    return CircuitMonteCarlo(sparse_fet_ladder())
+
+
+@pytest.fixture(scope="module")
+def sparse_chain_engine():
+    # 130 stages -> 134 unknowns: a *well-conditioned* circuit above
+    # SPARSE_THRESHOLD, for the tight batched-vs-scalar equivalence.
+    return CircuitMonteCarlo(_chain(n_stages=130))
+
+
+@pytest.fixture(scope="module")
+def sparse_variation(sparse_engine):
+    return FETVariation.sample(
+        12,
+        len(sparse_engine.fet_names),
+        seed=77,
+        drive_sigma=0.2,
+        vth_sigma_v=0.02,
+    )
+
+
+class TestSparseBatchedNewton:
+    """Sparse plans batch like dense ones: scalar-equivalent results,
+    bitwise invariant to chunk size, instance order and pooling."""
+
+    @given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=3, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    def test_batched_matches_scalar_loop(self, sparse_chain_engine, seed):
+        variation = FETVariation.sample(
+            3,
+            len(sparse_chain_engine.fet_names),
+            seed=seed,
+            drive_sigma=0.15,
+            vth_sigma_v=0.01,
+        )
+        batched = sparse_chain_engine.run(variation)
+        reference = sparse_chain_engine.scalar_reference(variation)
+        assert batched.converged.all()
+        assert reference.converged.all()
+        assert np.abs(batched.x - reference.x).max() < 1e-9
+
+    @given(chunk_size=st.integers(min_value=1, max_value=12))
+    @settings(max_examples=6, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    def test_chunk_size_bitwise_invariant(
+        self, sparse_engine, sparse_variation, chunk_size
+    ):
+        reference = sparse_engine.run(sparse_variation, chunk_size=12)
+        result = sparse_engine.run(sparse_variation, chunk_size=chunk_size)
+        assert np.array_equal(reference.x, result.x)
+        assert np.array_equal(reference.converged, result.converged)
+
+    @given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=4, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    def test_instance_order_bitwise_invariant(
+        self, sparse_engine, sparse_variation, seed
+    ):
+        permutation = np.random.default_rng(seed).permutation(
+            sparse_variation.n_instances
+        )
+        reference = sparse_engine.run(sparse_variation)
+        permuted = sparse_engine.run(sparse_variation.take(permutation))
+        assert np.array_equal(permuted.x, reference.x[permutation])
+
+    def test_process_pool_bitwise_matches_serial(
+        self, sparse_engine, sparse_variation
+    ):
+        serial = sparse_engine.run(sparse_variation, chunk_size=6)
+        pooled = sparse_engine.run(sparse_variation, chunk_size=6, workers=2)
+        assert np.array_equal(serial.x, pooled.x)
+        assert np.array_equal(serial.converged, pooled.converged)
 
 
 class TestSweepInvarianceProperties:

@@ -6,8 +6,8 @@ inverter-chain circuits and :class:`FETVariation` draws, every
 ``transient()`` loop over explicitly perturbed circuits to 1e-9 at
 every sample (hypothesis-backed), and the engine's results must be
 bitwise invariant to chunk size, instance order, and serial vs.
-process-pool execution.  The per-instance scalar fallback and the
-sparse per-instance path are exercised directly.
+process-pool execution.  The per-instance scalar rescue and the
+sparse batched path are exercised directly.
 """
 
 import logging
@@ -192,11 +192,8 @@ class TestScalarFallback:
             result.statistics("s1")
 
 
-class TestSparseFallback:
-    def test_sparse_plan_solves_per_instance_with_one_time_warning(
-        self, caplog, monkeypatch, sparse_fet_ladder
-    ):
-        monkeypatch.setattr(sweep_module, "_SPARSE_FALLBACK_WARNED", set())
+class TestSparseBatched:
+    def test_sparse_plan_batches_silently(self, caplog, sparse_fet_ladder):
         engine = CircuitTransientMC(
             sparse_fet_ladder(input_waveform=_stimulus(), load_f=1e-15)
         )
@@ -206,27 +203,33 @@ class TestSparseFallback:
         )
         with caplog.at_level(logging.WARNING, logger="repro.circuit.sweep"):
             result = engine.run(variation, 5e-11, 1e-11)
-        warnings = [
-            r for r in caplog.records if "SPARSE_THRESHOLD" in r.getMessage()
-        ]
-        assert len(warnings) == 1
-        assert "CircuitTransientMC" in warnings[0].getMessage()
-        assert "scalar" in warnings[0].getMessage()
-        assert result.converged.all() and result.fallback.all()
+        # Sparse plans march through the batched lockstep path: no
+        # warning, no per-instance fallback.
+        assert not caplog.records
+        assert result.converged.all()
+        assert not result.fallback.any()
+        # One symbolic analysis served the whole march.
+        assert engine.plan.sparse_schedule.n_symbolic == 1
 
-        # Per-instance results equal the scalar loop exactly.
+        # Waveforms match the per-instance scalar loop.
         for i in range(2):
             system = perturbed_circuit(engine.circuit, variation, i).build_system()
             scalar = transient_samples(system, 5e-11, 1e-11)
             assert np.abs(result.samples[i] - scalar).max() < WAVEFORM_ATOL
 
-        # The warning is one-time: a second run stays silent.
-        caplog.clear()
-        with caplog.at_level(logging.WARNING, logger="repro.circuit.sweep"):
-            engine.run(variation, 5e-11, 1e-11)
-        assert not [
-            r for r in caplog.records if "SPARSE_THRESHOLD" in r.getMessage()
-        ]
+    def test_sparse_chunk_and_order_bitwise_invariant(self, sparse_fet_ladder):
+        engine = CircuitTransientMC(
+            sparse_fet_ladder(input_waveform=_stimulus(), load_f=1e-15)
+        )
+        variation = FETVariation.sample(
+            6, 1, seed=9, drive_sigma=0.2, vth_sigma_v=0.02
+        )
+        reference = engine.run(variation, 5e-11, 1e-11)
+        chunked = engine.run(variation, 5e-11, 1e-11, chunk_size=2)
+        assert np.array_equal(chunked.samples, reference.samples)
+        permutation = np.random.default_rng(1).permutation(6)
+        permuted = engine.run(variation.take(permutation), 5e-11, 1e-11)
+        assert np.array_equal(permuted.samples, reference.samples[permutation])
 
 
 class TestResultAccessors:
