@@ -34,6 +34,9 @@ T_STOP = 0.2e-9
 DT = 1e-11
 N_SPARSE = 256
 SPARSE_STAGES = 200
+N_AC_FREQUENCIES = 240
+AC_DENSE_STAGES = 100
+AC_SPARSE_STAGES = 600
 
 
 def _timed(fn, repeat: int) -> float:
@@ -144,6 +147,42 @@ def bench_sparse_mc(repeat: int) -> dict:
     }
 
 
+def _ac_sweep_case(stages: int, repeat: int, case: str) -> dict:
+    from repro.circuit.ac import ACPlan, dense_frequency_loop
+    from repro.circuit.waveforms import DC
+    from repro.devices.empirical import AlphaPowerFET
+    from repro.experiments.cascade import build_inverter_chain
+
+    chain = build_inverter_chain(
+        AlphaPowerFET(), n_stages=stages, input_waveform=DC(0.0)
+    )
+    plan = ACPlan(chain, "VIN")
+    frequencies = np.logspace(3, 11, N_AC_FREQUENCIES)
+    conductance, capacitance, rhs = plan.dense_system()
+    loop_seconds = _timed(
+        lambda: dense_frequency_loop(conductance, capacitance, rhs, frequencies),
+        max(1, repeat - 1),  # the 604-unknown loop runs ~5 s per pass
+    )
+    seconds = _timed(lambda: plan.sweep_samples(frequencies), repeat)
+    regime = "sparse refactorization" if plan.use_sparse else "Schur-compiled"
+    return {
+        "case": case,
+        "detail": (
+            f"{N_AC_FREQUENCIES}-point AC sweep, {plan.size} unknowns "
+            f"({regime}; per-frequency loop {loop_seconds * 1e3:.1f} ms)"
+        ),
+        "seconds": seconds,
+    }
+
+
+def bench_ac_sweep_dense(repeat: int) -> dict:
+    return _ac_sweep_case(AC_DENSE_STAGES, repeat, "ac_sweep_dense_compiled")
+
+
+def bench_ac_sweep_sparse(repeat: int) -> dict:
+    return _ac_sweep_case(AC_SPARSE_STAGES, repeat, "ac_sweep_sparse_compiled")
+
+
 def bench_contract_lint(repeat: int) -> dict:
     from repro.lint import run_lint
 
@@ -160,7 +199,7 @@ def bench_contract_lint(repeat: int) -> dict:
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--pr", type=int, default=8, help="PR number for the artifact name")
+    parser.add_argument("--pr", type=int, default=10, help="PR number for the artifact name")
     parser.add_argument("--repeat", type=int, default=3, help="best-of repetitions")
     args = parser.parse_args(argv)
 
@@ -171,6 +210,8 @@ def main(argv: list[str] | None = None) -> int:
             bench_array_sampling,
             bench_transient_mc,
             bench_sparse_mc,
+            bench_ac_sweep_dense,
+            bench_ac_sweep_sparse,
             bench_contract_lint,
         )
     ]

@@ -26,12 +26,22 @@ per-instance loop that used to be the silent fallback for every
 over-threshold plan.  Solutions are asserted equal at 1e-9 and the
 batched path >= 5x faster than the loop.
 
+The compiled-AC counterpart (``ac_sweep``-tagged cases): a 240-point
+frequency sweep of an inverter-chain linearization, solved by the
+pre-compile per-frequency dense loop vs. the compiled plan — one QZ
+(generalized Schur) reduction plus an all-frequency blocked triangular
+backsubstitution below ``SPARSE_THRESHOLD``, per-frequency complex
+numeric refactorization on the cached symbolic ordering above it.
+Samples are asserted equal at 1e-9 and the compiled path >= 10x faster.
+
 Reference numbers (container class of the engines' introduction):
 1k-instance chain MC ~250 ms serial loop vs ~11 ms batched (~23x);
 10k-device array ~65 ms loop vs ~6 ms vectorised (~11x); 256-instance
 20-step transient MC ~15.6 s scalar loop vs ~0.24 s batched (~65x);
 256-instance sparse 200-stage MC ~21 s scalar loop vs batched well
-above the 5x bar.
+above the 5x bar; 240-point AC sweep ~64 ms loop vs ~3 ms compiled at
+104 unknowns (~22x) and ~4.8 s loop vs ~0.34 s compiled at 604
+unknowns (~14x).
 """
 
 import time
@@ -41,6 +51,7 @@ import pytest
 
 from conftest import print_rows
 
+from repro.circuit.ac import ACPlan, dense_frequency_loop
 from repro.circuit.sweep import CircuitMonteCarlo, CircuitTransientMC, FETVariation
 from repro.circuit.waveforms import DC, Pulse
 from repro.devices.empirical import AlphaPowerFET
@@ -291,6 +302,95 @@ def test_sparse_mc_batched(benchmark, sparse_engine, sparse_variation):
     # >= 5x speedup over the per-instance loop.
     assert np.abs(result.x - loop_result.x).max() < 1e-9
     assert speedup >= 5.0
+
+
+# Compiled AC sweep cases (test names carry the "ac_sweep" tag the CI
+# bench-smoke filters key on): one dense-regime chain (104 unknowns,
+# below SPARSE_THRESHOLD -> one-time QZ reduction + all-frequency
+# triangular backsubstitution) and one sparse-regime chain (604
+# unknowns -> per-frequency complex numeric refactorization on the
+# plan's cached symbolic ordering), both swept over a 240-point grid
+# against the pre-compile per-frequency dense loop on the *identical*
+# linearization.  Acceptance bar: samples equal at 1e-9 and >= 10x.
+N_AC_FREQUENCIES = 240
+AC_DENSE_STAGES = 100
+AC_SPARSE_STAGES = 600
+
+_ac_cache: dict = {}
+
+
+def _ac_case(stages):
+    """(plan, frequencies, loop_time, reference) for one chain size.
+
+    The legacy loop is expensive (~5 s at 604 unknowns): run it once
+    per module and share between the loop-baseline and compiled tests.
+    """
+    case = _ac_cache.get(stages)
+    if case is None:
+        chain = build_inverter_chain(
+            AlphaPowerFET(), n_stages=stages, input_waveform=DC(0.0)
+        )
+        plan = ACPlan(chain, "VIN")
+        frequencies = np.logspace(3, 11, N_AC_FREQUENCIES)
+        conductance, capacitance, rhs = plan.dense_system()
+        start = time.perf_counter()
+        reference = dense_frequency_loop(conductance, capacitance, rhs, frequencies)
+        loop_time = time.perf_counter() - start
+        case = (plan, frequencies, loop_time, reference)
+        _ac_cache[stages] = case
+    return case
+
+
+def _bench_ac_sweep(benchmark, stages, label):
+    plan, frequencies, loop_time, reference = _ac_case(stages)
+    samples = benchmark.pedantic(
+        plan.sweep_samples, args=(frequencies,), rounds=3, iterations=1
+    )
+    compiled_time = benchmark.stats.stats.min
+    speedup = loop_time / compiled_time
+    print_rows(
+        f"{N_AC_FREQUENCIES}-point AC sweep, {plan.size} unknowns — {label}",
+        [("compiled sweep [ms]", compiled_time * 1e3),
+         ("per-frequency loop [ms]", loop_time * 1e3),
+         ("speedup", speedup),
+         ("max |compiled - loop|", float(np.abs(samples - reference).max()))],
+    )
+    # Acceptance bar: compiled samples equal to the legacy loop at 1e-9
+    # and a >= 10x speedup on the identical linearization.
+    assert np.abs(samples - reference).max() < 1e-9
+    assert speedup >= 10.0
+
+
+def test_ac_sweep_dense_frequency_loop(benchmark):
+    """Baseline: the pre-compile per-frequency dense solve loop."""
+    plan, frequencies, loop_time, reference = _ac_case(AC_DENSE_STAGES)
+    benchmark.pedantic(lambda: reference, rounds=1, iterations=1)
+    print_rows(
+        f"{N_AC_FREQUENCIES}-point AC sweep, {plan.size} unknowns — dense loop",
+        [("one run [ms]", loop_time * 1e3)],
+    )
+    assert not plan.use_sparse
+
+
+def test_ac_sweep_dense_compiled(benchmark):
+    """Schur-compiled dense sweep: O(size^2) per frequency after one QZ."""
+    _bench_ac_sweep(benchmark, AC_DENSE_STAGES, "compiled (Schur)")
+
+
+def test_ac_sweep_sparse_frequency_loop(benchmark):
+    """Baseline: the same dense loop at sparse-regime size (604 unknowns)."""
+    plan, frequencies, loop_time, reference = _ac_case(AC_SPARSE_STAGES)
+    benchmark.pedantic(lambda: reference, rounds=1, iterations=1)
+    print_rows(
+        f"{N_AC_FREQUENCIES}-point AC sweep, {plan.size} unknowns — dense loop",
+        [("one run [ms]", loop_time * 1e3)],
+    )
+    assert plan.use_sparse
+
+
+def test_ac_sweep_sparse_compiled(benchmark):
+    """Canonical-pattern complex refactorization per frequency."""
+    _bench_ac_sweep(benchmark, AC_SPARSE_STAGES, "compiled (sparse)")
 
 
 def test_sample_array_device_loop(benchmark):

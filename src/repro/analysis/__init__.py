@@ -8,7 +8,14 @@ from repro.analysis.iv import (
     subthreshold_swing_mv_per_decade,
     threshold_voltage,
 )
-from repro.analysis.rf import RFMetrics, intrinsic_gain, rf_metrics
+from repro.analysis.rf import (
+    RFDistribution,
+    RFMetrics,
+    intrinsic_gain,
+    rf_metrics,
+    rf_metrics_batch,
+    small_signal,
+)
 from repro.analysis.snm import ButterflyResult, butterfly_snm
 from repro.analysis.timing import (
     DelayMetrics,
@@ -22,6 +29,7 @@ from repro.analysis.vtc import VTCMetrics, analyze_vtc
 __all__ = [
     "DelayMetrics",
     "ButterflyResult",
+    "RFDistribution",
     "RFMetrics",
     "VTCMetrics",
     "analyze_vtc",
@@ -31,6 +39,8 @@ __all__ = [
     "intrinsic_energy_delay",
     "intrinsic_gain",
     "rf_metrics",
+    "rf_metrics_batch",
+    "small_signal",
     "ion_at_fixed_ioff",
     "ion_ioff_ratio",
     "propagation_delays",

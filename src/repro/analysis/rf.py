@@ -15,6 +15,15 @@ Quantified here with the standard quasi-static expressions:
 A device without saturation has gds of the same order as gm at its bias
 point, so A_v <~ 1 and f_max collapses far below f_T, no matter how
 short the gate.
+
+gm and gds come from the device protocol's linearization
+(:func:`small_signal` -> ``linearize_point``): analytic derivatives for
+models that provide them (the PR 5 surrogates, every analytic FET),
+central differences with the model-owned step only as the protocol's
+explicit fallback — this module owns no finite-difference stepping of
+its own.  :func:`rf_metrics_batch` evaluates the same figures over
+process corners with one batched ``linearize`` call, feeding the
+variation-aware distributions of ``experiments/rf_comparison.py``.
 """
 
 from __future__ import annotations
@@ -22,18 +31,53 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
-from repro.devices.base import FETModel, output_conductance, transconductance
+import numpy as np
 
-__all__ = ["RFMetrics", "rf_metrics", "intrinsic_gain"]
+from repro.devices.base import FETModel
+
+__all__ = [
+    "RFDistribution",
+    "RFMetrics",
+    "intrinsic_gain",
+    "rf_metrics",
+    "rf_metrics_batch",
+    "small_signal",
+]
+
+
+def small_signal(device: FETModel, vgs: float, vds: float) -> tuple[float, float]:
+    """(gm, gds) [S] at one bias point via the device protocol.
+
+    Routes through :meth:`~repro.devices.base.FETModel.linearize_point`:
+    analytic derivatives wherever the model overrides it, the
+    protocol's model-owned central-difference step as the explicit
+    fallback.  The single linearization entry for every RF consumer in
+    this module.
+    """
+    _, gm, gds = device.linearize_point(vgs, vds)
+    return float(gm), float(gds)
 
 
 def intrinsic_gain(device: FETModel, vgs: float, vds: float) -> float:
     """Intrinsic voltage gain A_v = gm / gds at a bias point."""
-    gm = transconductance(device, vgs, vds)
-    gds = output_conductance(device, vgs, vds)
+    gm, gds = small_signal(device, vgs, vds)
     if gds <= 0.0:
         return math.inf
     return gm / gds
+
+
+def _validate_parasitics(
+    c_gate_total_f: float, c_gate_drain_f: float | None, gate_resistance_ohm: float
+) -> float:
+    """Check the parasitic triple; returns the resolved C_gd."""
+    if c_gate_total_f <= 0.0:
+        raise ValueError(f"gate capacitance must be positive, got {c_gate_total_f}")
+    if gate_resistance_ohm <= 0.0:
+        raise ValueError(f"gate resistance must be positive, got {gate_resistance_ohm}")
+    c_gd = c_gate_total_f / 3.0 if c_gate_drain_f is None else c_gate_drain_f
+    if c_gd <= 0.0 or c_gd > c_gate_total_f:
+        raise ValueError("gate-drain capacitance must be in (0, C_gg]")
+    return c_gd
 
 
 @dataclass(frozen=True)
@@ -76,19 +120,83 @@ def rf_metrics(
     gate_resistance_ohm:
         Series gate resistance entering the f_max expression.
     """
-    if c_gate_total_f <= 0.0:
-        raise ValueError(f"gate capacitance must be positive, got {c_gate_total_f}")
-    if gate_resistance_ohm <= 0.0:
-        raise ValueError(f"gate resistance must be positive, got {gate_resistance_ohm}")
-    c_gd = c_gate_total_f / 3.0 if c_gate_drain_f is None else c_gate_drain_f
-    if c_gd <= 0.0 or c_gd > c_gate_total_f:
-        raise ValueError("gate-drain capacitance must be in (0, C_gg]")
-
-    gm = transconductance(device, vgs, vds)
-    gds = max(output_conductance(device, vgs, vds), 0.0)
+    c_gd = _validate_parasitics(c_gate_total_f, c_gate_drain_f, gate_resistance_ohm)
+    gm, gds = small_signal(device, vgs, vds)
+    gds = max(gds, 0.0)
     if gm <= 0.0:
         raise ValueError("device has no transconductance at this bias")
     ft = gm / (2.0 * math.pi * c_gate_total_f)
     denominator = gate_resistance_ohm * (gds + 2.0 * math.pi * ft * c_gd)
     fmax = ft / (2.0 * math.sqrt(denominator)) if denominator > 0.0 else math.inf
     return RFMetrics(gm_s=gm, gds_s=gds, ft_hz=ft, fmax_hz=fmax)
+
+
+@dataclass(frozen=True)
+class RFDistribution:
+    """RF figures of merit over a stack of process corners.
+
+    One entry per corner, in corner order; produced by
+    :func:`rf_metrics_batch` from
+    :class:`~repro.circuit.sweep.FETVariation` draws.
+    """
+
+    gm_s: np.ndarray
+    gds_s: np.ndarray
+    ft_hz: np.ndarray
+    fmax_hz: np.ndarray
+
+    @property
+    def n_instances(self) -> int:
+        return self.gm_s.shape[0]
+
+    @property
+    def intrinsic_gain(self) -> np.ndarray:
+        """Per-corner A_v = gm / gds; +inf where gds is clipped to zero."""
+        gain = np.full(self.n_instances, np.inf)
+        positive = self.gds_s > 0.0
+        gain[positive] = self.gm_s[positive] / self.gds_s[positive]
+        return gain
+
+
+def rf_metrics_batch(
+    device: FETModel,
+    vgs: float,
+    vds: float,
+    c_gate_total_f: float,
+    *,
+    drive_scale: np.ndarray,
+    vth_shift_v: np.ndarray,
+    c_gate_drain_f: float | None = None,
+    gate_resistance_ohm: float = 100.0,
+) -> RFDistribution:
+    """RF figures of merit over process corners, one batched linearization.
+
+    Applies the :class:`~repro.circuit.sweep.FETVariation` perturbation
+    semantics — corner ``i`` conducts
+    ``drive_scale[i] * I(vgs - vth_shift_v[i], vds)`` — so ``gm`` and
+    ``gds`` scale with drive strength and follow the shifted gate
+    overdrive.  All corners go through one batched
+    :meth:`~repro.devices.base.FETModel.linearize` call (analytic for
+    models that provide derivatives); with nominal variation
+    (scale 1, shift 0) every entry matches the scalar
+    :func:`rf_metrics` value to rounding.
+    """
+    c_gd = _validate_parasitics(c_gate_total_f, c_gate_drain_f, gate_resistance_ohm)
+    scale = np.atleast_1d(np.asarray(drive_scale, dtype=float))
+    shift = np.atleast_1d(np.asarray(vth_shift_v, dtype=float))
+    if scale.shape != shift.shape or scale.ndim != 1:
+        raise ValueError(
+            "drive_scale and vth_shift_v must be matching 1-D corner vectors, "
+            f"got {scale.shape} and {shift.shape}"
+        )
+    _, gm, gds = device.linearize(vgs - shift, np.full(shift.shape, float(vds)))
+    gm = gm * scale
+    gds = np.maximum(gds * scale, 0.0)
+    if np.any(gm <= 0.0):
+        raise ValueError("device has no transconductance at this bias")
+    ft = gm / (2.0 * math.pi * c_gate_total_f)
+    denominator = gate_resistance_ohm * (gds + 2.0 * math.pi * ft * c_gd)
+    fmax = np.full(scale.shape, np.inf)
+    positive = denominator > 0.0
+    fmax[positive] = ft[positive] / (2.0 * np.sqrt(denominator[positive]))
+    return RFDistribution(gm_s=gm, gds_s=gds, ft_hz=ft, fmax_hz=fmax)

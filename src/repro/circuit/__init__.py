@@ -46,6 +46,15 @@ paper's variability/yield statistics and delay/energy distributions.
 Waveforms are bitwise invariant to chunk size, instance order, and
 serial vs. process-pool execution.
 
+Small-signal AC (:mod:`repro.circuit.ac`) compiles onto the same
+stamp plan: one linearization at the continuation-solved operating
+point (analytic gm/gds through the device protocol), the capacitance
+stamp as pattern-aligned data, and the frequency sweep as a stacked
+complex solve — batched LAPACK dense, numeric-only complex
+refactorization sparse.  :func:`ac_monte_carlo` pushes the sweep over
+:class:`CircuitMonteCarlo` corners for variation-aware frequency
+responses (:class:`BatchedACResult`).
+
 Fault tolerance (:mod:`repro.circuit.resilience`): passing an
 :class:`ExecutionPolicy` to any sweep routes chunks through a
 supervisor — per-chunk timeouts, bounded retries with backoff, pool
@@ -61,7 +70,13 @@ crashes, hangs, raises, and corrupt payloads at chosen chunks so the
 recovery ladder itself is under test.
 """
 
-from repro.circuit.ac import ACResult, ac_analysis
+from repro.circuit.ac import (
+    ACPlan,
+    ACResult,
+    BatchedACResult,
+    ac_analysis,
+    ac_monte_carlo,
+)
 from repro.circuit.continuation import (
     ConvergenceError,
     ConvergenceReport,
@@ -100,7 +115,9 @@ from repro.circuit.transient import TransientResult, transient
 from repro.circuit.waveforms import DC, PiecewiseLinear, Pulse, Sine
 
 __all__ = [
+    "ACPlan",
     "ACResult",
+    "BatchedACResult",
     "Circuit",
     "CircuitError",
     "CheckpointStore",
@@ -128,6 +145,7 @@ __all__ = [
     "TransientMCResult",
     "TransientResult",
     "ac_analysis",
+    "ac_monte_carlo",
     "build_inverter",
     "build_ring_oscillator",
     "dc_sweep",

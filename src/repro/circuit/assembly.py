@@ -349,6 +349,19 @@ class _SparseSchedule:
             (data, self.indices, self.indptr), shape=(self.size, self.size)
         )
 
+    def capacitance_data(self, cap_c: np.ndarray) -> np.ndarray:
+        """Capacitance stamp C as a canonical-pattern ``data`` vector.
+
+        The capacitor entries live on the same canonical pattern as the
+        conductance stamps, so the AC system ``G + j w C`` is a pure
+        elementwise combination of two ``data`` vectors — no per-element
+        walking, no pattern merging (see :mod:`repro.circuit.ac`).
+        """
+        data = np.zeros(self.nnz)
+        if self._cap_pos.size:
+            np.add.at(data, self._cap_pos, self._cap_sign * cap_c[self._cap_which])
+        return data
+
     def _ensure_symbolic(self) -> None:
         if self._perm_c is not None:
             return
@@ -385,7 +398,11 @@ class _SparseSchedule:
 
         Returns a ``solve(rhs)`` callable for the *unpermuted* system
         (``A x = rhs``), or None when the matrix is numerically
-        singular.
+        singular.  ``data`` may be complex: the gather, the CSC wrap
+        and ``splu`` are all dtype-generic, which is what lets the
+        compiled AC path (:mod:`repro.circuit.ac`) refactorize
+        ``G + j w C`` per frequency against this one symbolic
+        ordering.
         """
         self._ensure_symbolic()
         permuted = sparse.csc_matrix(
@@ -540,10 +557,37 @@ class StampPlan:
             self._jac = np.zeros((size, size))
             self._jac_flat = self._jac.ravel()
         self._lin_cache: dict[object, _LinearSystem] = {}
+        self._cap_stamp: np.ndarray | None = None
 
         # Shared canonical pattern + one-time symbolic ordering for
         # every sparse Jacobian this plan (or a sweep over it) builds.
         self.sparse_schedule = _SparseSchedule(self) if self.use_sparse else None
+
+    def capacitance_stamp(self) -> np.ndarray:
+        """The capacitance matrix C of the AC system ``(G + j w C) x = b``.
+
+        Built once from the compiled capacitor stamp pattern — the same
+        ``(rows, cols, sign, which)`` arrays the transient companion
+        model scatters through — instead of walking elements into an
+        O(size^2) dense loop per analysis.  Dense plans return a
+        ``(size, size)`` array; sparse plans return the canonical-
+        pattern ``data`` vector (wrap with ``sparse_schedule.matrix``
+        for a matrix view).  Cached: callers must not mutate the
+        result.
+        """
+        if self._cap_stamp is None:
+            if self.use_sparse:
+                self._cap_stamp = self.sparse_schedule.capacitance_data(self.cap_c)
+            else:
+                stamp = np.zeros((self.size, self.size))
+                if self._cap_rows.size:
+                    np.add.at(
+                        stamp,
+                        (self._cap_rows, self._cap_cols),
+                        self._cap_sign * self.cap_c[self._cap_which],
+                    )
+                self._cap_stamp = stamp
+        return self._cap_stamp
 
     # -- linear subsystem cache ---------------------------------------------------
     def _linear_system(self, dt_s: float | None, integrator: str) -> _LinearSystem:

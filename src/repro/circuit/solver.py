@@ -34,7 +34,7 @@ from scipy.sparse.linalg import splu
 from repro.circuit.assembly import DIAG_REGULARIZATION as _DIAG_REGULARIZATION
 from repro.circuit.netlist import MNASystem
 
-__all__ = ["newton_solve", "solve_dc"]
+__all__ = ["newton_solve", "solve_dc", "operating_point"]
 
 _MAX_ITERATIONS = 120
 _RESIDUAL_ATOL = 1e-10
@@ -223,3 +223,26 @@ def solve_dc(
     if not report.converged:
         raise ConvergenceError("DC solve failed: continuation ladder exhausted", report)
     return x
+
+
+def operating_point(
+    system: MNASystem, x0: np.ndarray | None = None, **eval_kwargs
+) -> tuple[np.ndarray, np.ndarray | sparse.csr_matrix]:
+    """Continuation-solved DC point and its detached small-signal G.
+
+    The Jacobian the evaluator returns at the DC solution *is* the
+    small-signal conductance matrix — the FET gm/gds stamps come from
+    the device protocol's ``linearize`` (analytic for models that
+    provide derivatives, central differences with the model-owned step
+    otherwise), so no caller ever re-derives them by finite
+    differences.  Dense compiled plans hand back a reused evaluation
+    buffer, so the dense result is copied; sparse plans return the
+    canonical-pattern CSR matrix, whose ``data`` vector is fresh per
+    evaluation.  This is the one linearization the compiled AC path
+    (:mod:`repro.circuit.ac`) performs per analysis.
+    """
+    x = solve_dc(system, x0, **eval_kwargs)
+    _, jacobian = system.evaluate(x)
+    if sparse.issparse(jacobian):
+        return x, jacobian
+    return x, np.array(jacobian)

@@ -1032,6 +1032,40 @@ class _BatchedNewtonEngine:
                 diag[:, :n_nodes] += gmin
         return residual, jac
 
+    def small_signal_jacobians(
+        self, x: np.ndarray, variation: FETVariation | None = None
+    ) -> np.ndarray:
+        """Stacked small-signal conductance matrices at solved corners.
+
+        ``x`` is an ``(m, size)`` stack of operating points (typically
+        ``MonteCarloResult.x``); the return value is the stack of MNA
+        Jacobians dF/dx linearized there, each instance's
+        drive-scale/threshold variation applied — exactly the per-row
+        arithmetic of the batched Newton iteration, so row ``i`` equals
+        the scalar plan's Jacobian on the corresponding perturbed
+        circuit.  Dense plans return ``(m, size, size)`` matrices;
+        sparse plans return ``(m, nnz)`` canonical-pattern CSR data
+        (wrap rows with ``plan.sparse_schedule.matrix``).  Each row
+        *is* the G of ``(G + j w C) x = b`` at that corner: this is
+        the bridge batched AC rides over
+        (:func:`repro.circuit.ac.ac_monte_carlo`).  Rows are
+        elementwise independent, so the stack is bitwise invariant to
+        instance order.
+        """
+        x = np.asarray(x, dtype=float)
+        if x.ndim != 2 or x.shape[1] != self.plan.size:
+            raise ValueError(
+                f"operating points must be (m, {self.plan.size}), got {x.shape}"
+            )
+        variation = self._check_variation(variation, x.shape[0])
+        if variation.n_instances != x.shape[0]:
+            raise ValueError(
+                f"variation has {variation.n_instances} instances, "
+                f"operating-point stack has {x.shape[0]} rows"
+            )
+        _, jacobian = self._evaluate_batch(x, variation)
+        return jacobian
+
     # -- batched Newton ---------------------------------------------------------
     def _newton_batch(
         self,

@@ -199,7 +199,7 @@ EXPERIMENTS: dict[str, tuple[str, Callable[[], list[tuple]]]] = {
     "fig6": ("CNT tunnel FET (gated PIN diode)", _run_fig6),
     "table1": ("in-text numeric claims", _run_table1),
     "integration": ("Section V integration statistics", _run_integration),
-    "rf": ("Section II RF comparison", _run_rf),
+    "rf": ("Section II RF comparison (variation-aware)", _run_rf),
     "scaling": ("voltage scaling: CNT fabric vs Si trigate", _run_scaling),
     "fabric": ("aligned-fabric pitch/purity requirements", _run_fabric),
     "cascade": ("cascaded logic: level restoration vs collapse", _run_cascade),

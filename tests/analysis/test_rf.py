@@ -2,9 +2,15 @@
 
 import math
 
+import numpy as np
 import pytest
 
-from repro.analysis.rf import intrinsic_gain, rf_metrics
+from repro.analysis.rf import (
+    intrinsic_gain,
+    rf_metrics,
+    rf_metrics_batch,
+    small_signal,
+)
 from repro.devices.empirical import AlphaPowerFET, NonSaturatingFET
 
 
@@ -82,3 +88,101 @@ class TestRFMetrics:
 
         with pytest.raises(ValueError):
             rf_metrics(NoGm(), 0.8, 0.8, 100e-18)
+
+
+class TestAnalyticRouting:
+    """The RF path must consume linearize_point, not its own FD stepping."""
+
+    def test_no_finite_difference_probing(self, saturating):
+        class AnalyticOnly(AlphaPowerFET):
+            """Raises on any current() probe; serves derivatives directly."""
+
+            def current(self, vgs, vds):
+                raise AssertionError("RF path fell back to FD current probes")
+
+            def linearize_point(self, vgs, vds, delta_v=None):
+                return 1e-4, 5e-4, 3e-5
+
+        metrics = rf_metrics(AnalyticOnly(), 0.8, 0.8, c_gate_total_f=60e-18)
+        assert metrics.gm_s == pytest.approx(5e-4)
+        assert metrics.gds_s == pytest.approx(3e-5)
+        assert intrinsic_gain(AnalyticOnly(), 0.8, 0.8) == pytest.approx(5e-4 / 3e-5)
+
+    def test_small_signal_matches_protocol(self, saturating):
+        gm, gds = small_signal(saturating, 0.8, 0.8)
+        _, gm_ref, gds_ref = saturating.linearize_point(0.8, 0.8)
+        assert gm == pytest.approx(gm_ref, rel=1e-15)
+        assert gds == pytest.approx(gds_ref, rel=1e-15)
+
+
+class TestRFMetricsBatch:
+    def test_nominal_corners_match_scalar(self, saturating):
+        scalar = rf_metrics(saturating, 0.8, 0.8, c_gate_total_f=60e-18)
+        batch = rf_metrics_batch(
+            saturating,
+            0.8,
+            0.8,
+            60e-18,
+            drive_scale=np.ones(5),
+            vth_shift_v=np.zeros(5),
+        )
+        assert batch.n_instances == 5
+        # linearize (vectorised currents) and linearize_point (scalar
+        # current) may round differently at the last few ulps.
+        np.testing.assert_allclose(batch.gm_s, scalar.gm_s, rtol=1e-9)
+        np.testing.assert_allclose(batch.gds_s, scalar.gds_s, rtol=1e-9)
+        np.testing.assert_allclose(batch.ft_hz, scalar.ft_hz, rtol=1e-9)
+        np.testing.assert_allclose(batch.fmax_hz, scalar.fmax_hz, rtol=1e-9)
+        np.testing.assert_allclose(
+            batch.intrinsic_gain, scalar.intrinsic_gain, rtol=1e-9
+        )
+
+    def test_drive_scale_doubles_gm_keeps_gain(self, saturating):
+        batch = rf_metrics_batch(
+            saturating,
+            0.8,
+            0.8,
+            60e-18,
+            drive_scale=np.array([1.0, 2.0]),
+            vth_shift_v=np.zeros(2),
+        )
+        # scale multiplies both gm and gds: f_T doubles, A_v unchanged.
+        assert batch.gm_s[1] == pytest.approx(2.0 * batch.gm_s[0], rel=1e-12)
+        assert batch.ft_hz[1] == pytest.approx(2.0 * batch.ft_hz[0], rel=1e-12)
+        assert batch.intrinsic_gain[1] == pytest.approx(
+            batch.intrinsic_gain[0], rel=1e-12
+        )
+
+    def test_vth_shift_follows_overdrive(self, saturating):
+        shifted = rf_metrics_batch(
+            saturating,
+            0.8,
+            0.8,
+            60e-18,
+            drive_scale=np.ones(2),
+            vth_shift_v=np.array([0.0, 0.05]),
+        )
+        reference = rf_metrics(saturating, 0.75, 0.8, c_gate_total_f=60e-18)
+        assert shifted.gm_s[1] == pytest.approx(reference.gm_s, rel=1e-9)
+
+    def test_shape_mismatch_rejected(self, saturating):
+        with pytest.raises(ValueError):
+            rf_metrics_batch(
+                saturating,
+                0.8,
+                0.8,
+                60e-18,
+                drive_scale=np.ones(3),
+                vth_shift_v=np.zeros(2),
+            )
+
+    def test_parasitics_validated(self, saturating):
+        with pytest.raises(ValueError):
+            rf_metrics_batch(
+                saturating,
+                0.8,
+                0.8,
+                0.0,
+                drive_scale=np.ones(2),
+                vth_shift_v=np.zeros(2),
+            )

@@ -1,13 +1,29 @@
-"""Small-signal AC analysis against closed-form frequency responses."""
+"""Small-signal AC analysis against closed-form frequency responses.
+
+Plus the compiled-path contracts: the stacked complex sweep
+(:class:`ACPlan`) is pinned to the legacy per-frequency loop at 1e-9
+in both the dense and sparse regimes, and the batched paths are
+bitwise invariant to frequency chunking and corner order.
+"""
 
 import numpy as np
 import pytest
+from hypothesis import given, settings, strategies as st
 
-from repro.circuit.ac import ACResult, ac_analysis
+from repro.circuit.ac import (
+    ACPlan,
+    ACResult,
+    BatchedACResult,
+    ac_analysis,
+    ac_monte_carlo,
+)
+from repro.circuit.cells import build_inverter
 from repro.circuit.netlist import Circuit, CircuitError
+from repro.circuit.sweep import FETVariation
 from repro.circuit.waveforms import DC
 from repro.devices.base import PType
 from repro.devices.empirical import AlphaPowerFET
+from repro.experiments.cascade import build_inverter_chain
 
 
 def rc_lowpass(r=1e3, c=1e-9):
@@ -137,3 +153,181 @@ class TestUnityGainEdgeCases:
         result = synthetic_response([5.0, 4.0, 3.0])
         with pytest.raises(CircuitError, match="never crosses"):
             result.unity_gain_frequency_hz("out")
+
+
+class TestFrequencyGridValidation:
+    """Unsorted grids must fail at the boundary, not corrupt UGF interp."""
+
+    def test_descending_rejected(self):
+        with pytest.raises(CircuitError, match="strictly increasing"):
+            ac_analysis(rc_lowpass(), "VIN", [1e6, 1e5, 1e4])
+
+    def test_shuffled_rejected(self):
+        with pytest.raises(CircuitError, match="strictly increasing"):
+            ac_analysis(rc_lowpass(), "VIN", [1e3, 1e6, 1e4])
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(CircuitError, match="strictly increasing"):
+            ac_analysis(rc_lowpass(), "VIN", [1e3, 1e3, 1e4])
+
+    def test_legacy_path_validates_too(self):
+        with pytest.raises(CircuitError, match="strictly increasing"):
+            ac_analysis(rc_lowpass(), "VIN", [1e6, 1e3], method="legacy")
+
+    def test_nonfinite_rejected(self):
+        with pytest.raises(CircuitError, match="positive and finite"):
+            ac_analysis(rc_lowpass(), "VIN", [1e3, np.inf])
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(CircuitError, match="unknown AC method"):
+            ac_analysis(rc_lowpass(), "VIN", [1e3], method="dense")
+
+    def test_bad_chunk_size_rejected(self):
+        cell = build_inverter(AlphaPowerFET(), input_waveform=DC(0.5))
+        with pytest.raises(CircuitError, match="chunk_size"):
+            ac_monte_carlo(
+                cell.circuit,
+                "VIN",
+                [1e3, 1e4],
+                FETVariation.nominal(1, 2),
+                chunk_size=0,
+            )
+
+
+def _equivalence(circuit, source, frequencies, tolerance=1e-9):
+    compiled = ac_analysis(circuit, source, frequencies, method="compiled")
+    legacy = ac_analysis(circuit, source, frequencies, method="legacy")
+    worst = max(
+        float(np.abs(compiled.transfer(n) - legacy.transfer(n)).max())
+        for n in circuit.node_names
+    )
+    assert worst < tolerance, f"compiled-vs-legacy max deviation {worst}"
+    return compiled
+
+
+class TestCompiledLegacyEquivalence:
+    """The stacked complex sweep is pinned to the per-frequency loop."""
+
+    def test_rc_lowpass(self):
+        _equivalence(rc_lowpass(), "VIN", np.logspace(3, 9, 40))
+
+    def test_resistive_divider(self):
+        circuit = Circuit()
+        circuit.add_voltage_source("VIN", "a", "0", DC(0.0))
+        circuit.add_resistor("R1", "a", "b", 1e3)
+        circuit.add_resistor("R2", "b", "0", 3e3)
+        _equivalence(circuit, "VIN", np.logspace(2, 9, 25))
+
+    def test_fet_amplifier_dense(self):
+        circuit = TestAmplifier().make_common_source(load_c=1e-12)
+        assert not ACPlan(circuit, "VIN").use_sparse
+        _equivalence(circuit, "VIN", np.logspace(5, 12, 30))
+
+    def test_inverter_chain_sparse_regime(self):
+        circuit = build_inverter_chain(AlphaPowerFET(), 200)
+        plan = ACPlan(circuit, "VIN")
+        assert plan.use_sparse  # 204 unknowns: above SPARSE_THRESHOLD
+        _equivalence(circuit, "VIN", np.logspace(4, 9, 6))
+
+    def test_repeated_sweeps_reuse_schur_reduction(self):
+        plan = ACPlan(rc_lowpass(), "VIN")
+        frequencies = np.logspace(3, 8, 50)
+        first = plan.sweep(frequencies)
+        assert plan._schur is not None  # QZ compiled lazily on first sweep
+        again = plan.sweep(frequencies)
+        assert np.array_equal(first.transfer("b"), again.transfer("b"))
+
+
+# -- module-level lazy caches so hypothesis examples reuse one expensive
+#    setup (plan construction / reference MC run) without function-scoped
+#    fixture health-check violations.
+_INVARIANCE_CACHE: dict = {}
+
+
+def _batched_reference() -> tuple[Circuit, FETVariation, BatchedACResult, np.ndarray]:
+    if "batched" not in _INVARIANCE_CACHE:
+        cell = build_inverter(AlphaPowerFET(), input_waveform=DC(0.5))
+        variation = FETVariation.sample(16, 2, seed=20140314, vth_sigma_v=0.01)
+        frequencies = np.logspace(6, 11, 21)
+        base = ac_monte_carlo(cell.circuit, "VIN", frequencies, variation)
+        _INVARIANCE_CACHE["batched"] = (cell.circuit, variation, base, frequencies)
+    return _INVARIANCE_CACHE["batched"]
+
+
+class TestBatchedInvariance:
+    """Chunking and corner order never change a bit of the results."""
+
+    @settings(deadline=None, max_examples=8)
+    @given(st.integers(1, 60))
+    def test_frequency_chunking_bitwise_invariant(self, chunk_size):
+        circuit, variation, base, frequencies = _batched_reference()
+        chunked = ac_monte_carlo(
+            circuit, "VIN", frequencies, variation, chunk_size=chunk_size
+        )
+        assert np.array_equal(chunked.samples, base.samples)
+
+    @settings(deadline=None, max_examples=6)
+    @given(st.permutations(list(range(16))))
+    def test_instance_order_bitwise_invariant(self, order):
+        circuit, variation, base, frequencies = _batched_reference()
+        permutation = np.asarray(order)
+        permuted = ac_monte_carlo(
+            circuit, "VIN", frequencies, variation.take(permutation)
+        )
+        assert np.array_equal(permuted.samples, base.samples[permutation])
+        assert np.array_equal(permuted.converged, base.converged[permutation])
+
+
+class TestBatchedAC:
+    def test_nominal_matches_scalar_plan(self):
+        # The corner kernel (stacked LAPACK) and the plan kernel (Schur
+        # backsubstitution) solve the same system by different routes:
+        # nominal variation must land on the same response at the
+        # equivalence bar.
+        cell = build_inverter(AlphaPowerFET(), input_waveform=DC(0.5))
+        frequencies = np.logspace(6, 11, 13)
+        batched = ac_monte_carlo(
+            cell.circuit, "VIN", frequencies, FETVariation.nominal(1, 2)
+        )
+        single = ACPlan(cell.circuit, "VIN").sweep(frequencies)
+        assert batched.n_converged == 1
+        deviation = np.abs(
+            batched.transfer(cell.output_node)[0] - single.transfer(cell.output_node)
+        ).max()
+        assert deviation < 1e-9
+
+    def test_instance_accessor_round_trips(self):
+        _, _, base, frequencies = _batched_reference()
+        one = base.instance(3)
+        assert isinstance(one, ACResult)
+        assert np.array_equal(one.transfer("out"), base.transfer("out")[3])
+
+    def test_unknown_node_raises(self):
+        _, _, base, _ = _batched_reference()
+        with pytest.raises(CircuitError, match="unknown node"):
+            base.transfer("nope")
+
+    def test_unity_gain_nan_for_non_crossing_corners(self):
+        # Corner 0 crosses unity falling; corner 1 never reaches it;
+        # corner 2 never converged.  Only corner 0 reports a number.
+        frequencies = np.logspace(6, 8, 3)
+        samples = np.empty((3, 3, 1), dtype=complex)
+        samples[0, :, 0] = [10.0, 0.1, 0.01]
+        samples[1, :, 0] = [0.5, 0.4, 0.3]
+        samples[2, :, 0] = np.nan
+        result = BatchedACResult(
+            frequencies_hz=frequencies,
+            samples=samples,
+            converged=np.array([True, True, False]),
+            node_index={"out": 0},
+        )
+        crossings = result.unity_gain_frequencies_hz("out")
+        assert crossings[0] == pytest.approx(np.sqrt(1e6 * 1e7), rel=1e-12)
+        assert np.isnan(crossings[1]) and np.isnan(crossings[2])
+
+    def test_variation_length_mismatch_rejected(self):
+        cell = build_inverter(AlphaPowerFET(), input_waveform=DC(0.5))
+        with pytest.raises(ValueError):
+            ac_monte_carlo(
+                cell.circuit, "VIN", [1e6, 1e7], FETVariation.nominal(2, 3)
+            )

@@ -28,9 +28,18 @@ GOLDEN_DIR = Path(__file__).parent / "golden"
 # The experiments snapshotted: the two circuit-level artefacts the
 # solver/assembly refactors must not move, the ablation sweeps, the
 # seeded Section V Monte-Carlo pipeline, the transient-MC timing rows
-# (corner sweep + device-spread delay/energy distribution), and the
-# spline-surrogate accuracy report.
-GOLDEN_EXPERIMENTS = ("fig2", "cascade", "ablations", "integration", "timing", "surrogate")
+# (corner sweep + device-spread delay/energy distribution), the
+# spline-surrogate accuracy report, and the variation-aware RF
+# comparison (nominal table + seeded corner/batched-AC distributions).
+GOLDEN_EXPERIMENTS = (
+    "fig2",
+    "cascade",
+    "ablations",
+    "integration",
+    "timing",
+    "surrogate",
+    "rf",
+)
 
 # Tight by design: these runs are deterministic (fixed seeds, fixed
 # grids); the relative slack only absorbs BLAS/libm rounding drift.
